@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One :class:`ResultCache` is shared across the whole session so each
+(benchmark, configuration) point simulates once even though several
+figures consume it.  Set ``REPRO_SCALE=test`` for a fast smoke pass with
+tiny inputs (shapes will be noisier).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.figures import ResultCache
+
+SCALE = os.environ.get('REPRO_SCALE', 'bench')
+
+
+@pytest.fixture(scope='session')
+def cache():
+    return ResultCache(scale=SCALE)
+
+
+FIGURES_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
+                            'figures_output.txt')
+_emitted_this_session = False
+
+
+def emit(series_or_text):
+    """Print a rendered series and append it to figures_output.txt.
+
+    pytest captures stdout of passing tests, so the file is the durable
+    record of every regenerated table/figure.
+    """
+    global _emitted_this_session
+    text = (series_or_text.render()
+            if hasattr(series_or_text, 'render') else str(series_or_text))
+    print()
+    print(text)
+    print()
+    mode = 'a' if _emitted_this_session else 'w'
+    with open(FIGURES_FILE, mode) as f:
+        f.write(text)
+        f.write('\n\n')
+    _emitted_this_session = True

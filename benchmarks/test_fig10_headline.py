@@ -1,0 +1,59 @@
+"""Figure 10: the headline result.
+
+Paper: software-defined vectors beat the MLP-optimized manycore baseline
+by 1.7x on average (10a), amortize I-cache accesses (10b), and cut total
+on-chip dynamic energy by ~22% vs NV_PF (10c).
+"""
+
+from repro.harness.figures import (fig10a_speedup, fig10b_icache,
+                                   fig10c_energy)
+
+from conftest import SCALE, emit
+
+STRICT = SCALE == 'bench'  # test-scale inputs are setup-dominated
+
+
+def test_fig10a_speedup(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig10a_speedup(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    mean = s.mean_row()
+    # NV_PF exploits MLP over NV ...
+    assert mean['NV_PF'] > 1.3
+    # ... and software-defined vectors beat NV_PF on average
+    assert mean['BEST_V'] > mean['NV_PF']
+    if STRICT:
+        # paper: 1.7x over NV_PF.  At our scaled inputs the compute-bound
+        # kernels stay LLC-resident and lose the paper's DRAM-contention
+        # gains, so the suite mean lands lower; the memory-bound matvec
+        # family reproduces at full strength (see EXPERIMENTS.md).
+        assert mean['BEST_V'] > mean['NV_PF'] * 1.05
+        # per-benchmark shapes the paper calls out: bicg/mvt shine,
+        # gramschm does not improve
+        assert s.rows['bicg']['BEST_V'] > 1.5 * s.rows['bicg']['NV_PF']
+        assert s.rows['mvt']['BEST_V'] > 1.5 * s.rows['mvt']['NV_PF']
+        assert (s.rows['gramschm']['BEST_V'] <
+                1.3 * s.rows['gramschm']['NV_PF'])
+
+
+def test_fig10b_icache(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig10b_icache(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    mean = s.mean_row()
+    # vector groups fetch significantly less than either baseline
+    assert mean['BEST_V'] < mean['NV']
+    if STRICT:
+        assert mean['BEST_V'] < 0.75 * mean['NV']
+        assert mean['BEST_V'] < 0.85 * mean['NV_PF']
+
+
+def test_fig10c_energy(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig10c_energy(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    mean = s.mean_row()
+    # the paper: vectors cut energy vs NV_PF and roughly match NV
+    if STRICT:
+        assert mean['BEST_V'] < 0.95 * mean['NV_PF']
+        assert mean['BEST_V'] < 1.1 * mean['NV']

@@ -1,0 +1,26 @@
+"""Figure 11: NV_PF scaling from 1 to 64 cores.
+
+Paper: 2mm/3mm/gemm scale near-linearly; most benchmarks go sub-linear
+past 16 cores as DRAM bandwidth saturates.
+"""
+
+from repro.harness.figures import fig11_scalability
+
+from conftest import emit
+
+COMPUTE_BOUND = ('2mm', '3mm', 'gemm')
+
+
+def test_fig11_scaling(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig11_scalability(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    for b, row in s.rows.items():
+        # more cores never hurt in this regime
+        assert row['NV_PF_4'] > row['NV_PF_1'] * 1.5
+        assert row['NV_PF_64'] >= row['NV_PF_16'] * 0.8
+    # the compute-bound trio keeps scaling; the suite mean goes sublinear
+    for b in COMPUTE_BOUND:
+        assert s.rows[b]['NV_PF_64'] > 20
+    mean = s.mean_row()
+    assert mean['NV_PF_64'] < 64 * 0.8

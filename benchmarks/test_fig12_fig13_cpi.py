@@ -1,0 +1,38 @@
+"""Figures 12 and 13: CPI stacks.
+
+Figure 12: as NV_PF core counts grow, frame (memory) stalls come to
+dominate the issue stage.  Figure 13: V4 relieves memory stalls better
+than doubling DRAM bandwidth for several benchmarks.
+"""
+
+from repro.harness.figures import (fig12_cpi_by_cores, fig13_cpi_bandwidth,
+                                   render_cpi)
+
+from conftest import emit
+
+
+def test_fig12_cpi_vs_cores(benchmark, cache):
+    table = benchmark.pedantic(lambda: fig12_cpi_by_cores(cache),
+                               rounds=1, iterations=1)
+    emit(render_cpi(table, 'Figure 12: CPI stacks vs core count (NV_PF)'))
+    # memory stalls grow with core count for the bandwidth-bound majority
+    grew = 0
+    for b, cfgs in table.items():
+        if cfgs['NV_PF_64']['frame'] > cfgs['NV_PF_1']['frame'] * 1.5:
+            grew += 1
+    assert grew >= 8, f'only {grew} benchmarks saw memory stalls grow'
+
+
+def test_fig13_bandwidth_vs_vectors(benchmark, cache):
+    table = benchmark.pedantic(lambda: fig13_cpi_bandwidth(cache),
+                               rounds=1, iterations=1)
+    emit(render_cpi(table,
+                    'Figure 13: CPI stacks, NV_PF vs 2x DRAM BW vs V4'))
+    # 2x bandwidth reduces frame stalls for bandwidth-bound benchmarks
+    helped = sum(1 for cfgs in table.values()
+                 if cfgs['2X']['frame'] < cfgs['B']['frame'] * 0.95)
+    assert helped >= 6
+    # V4 cuts expander-side frame stalls below the baseline's on average
+    avg_b = sum(c['B']['frame'] for c in table.values()) / len(table)
+    avg_v = sum(c['V4']['frame'] for c in table.values()) / len(table)
+    assert avg_v < avg_b

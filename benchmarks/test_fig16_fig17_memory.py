@@ -1,0 +1,64 @@
+"""Figures 16 and 17: vector length, long lines, and memory sensitivity."""
+
+from repro.harness.figures import (bfs_irregular, fig16_vector_lengths,
+                                   fig17a_miss_rate, fig17b_llc_capacity,
+                                   fig17c_noc_width)
+from repro.kernels import registry
+
+from conftest import emit
+
+
+def test_fig16_vector_length_flexibility(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig16_vector_lengths(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    # vector-length flexibility: the best width is per-application (the
+    # paper's V16/V4 mean is ~0.73; ours lands nearby).  V16 must lose
+    # badly somewhere and stay competitive somewhere.
+    vals = [r['V16'] for r in s.rows.values()]
+    assert min(vals) < 0.8, 'V16 should lose somewhere'
+    assert max(vals) > 0.9, 'V16 should stay competitive somewhere'
+    mean = s.mean_row()
+    assert 0.5 < mean['V16'] < 1.1
+    # long lines + SIMD help at least one of the modified benchmarks
+    ll = [r['V16_LL_PCV'] for b, r in s.rows.items()
+          if 'V16_LL_PCV' in r]
+    assert any(v > 1.0 for v in ll)
+
+
+def test_fig17a_llc_miss_rate(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig17a_miss_rate(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    mean = s.mean_row()
+    # vector groups do not increase the miss rate on average, and the
+    # column-wise matvecs see better line utilization (paper: bicg, mvt)
+    assert mean['BEST_V'] <= mean['NV_PF'] * 1.1
+
+
+def test_fig17b_llc_capacity(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig17b_llc_capacity(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    # a larger LLC never hurts; some benchmarks are sensitive
+    for b, r in s.rows.items():
+        assert r['NV_PF_32kB'] >= r['NV_PF_16kB'] * 0.9
+
+
+def test_fig17c_noc_width(benchmark, cache):
+    s = benchmark.pedantic(lambda: fig17c_noc_width(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    # paper: network width is not critical — a single-word NoC loses
+    # little on average
+    for b, r in s.rows.items():
+        assert r['NV_PF_NW4'] >= r['NV_PF_NW1'] * 0.95
+        assert r['V4_NW4'] >= r['V4_NW1'] * 0.9
+
+
+def test_bfs_irregular(benchmark, cache):
+    s = benchmark.pedantic(lambda: bfs_irregular(cache),
+                           rounds=1, iterations=1)
+    emit(s)
+    # Section 6.6: pure manycore mode wins big on irregular bfs
+    assert s.rows['bfs']['NV'] > 1.8

@@ -1,0 +1,58 @@
+"""Tables 1, 2 and 3: machine parameters, applications, configurations."""
+
+from repro.gpu.config import DEFAULT_GPU
+from repro.harness.configs import CONFIGS, META_CONFIGS
+from repro.kernels import registry
+from repro.manycore import DEFAULT_CONFIG
+
+from conftest import emit
+
+
+def test_table1_machine_parameters(benchmark):
+    def render():
+        lines = ['Table 1a: manycore parameters']
+        for k, v in DEFAULT_CONFIG.__dict__.items():
+            lines.append(f'  {k:32s} {v}')
+        lines.append('Table 1b: GPU (APU) parameters')
+        for k, v in DEFAULT_GPU.__dict__.items():
+            lines.append(f'  {k:32s} {v}')
+        return '\n'.join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit(text)
+    assert DEFAULT_CONFIG.num_cores == 64
+    assert DEFAULT_CONFIG.llc_banks == 16
+    assert DEFAULT_GPU.compute_units == 4
+    assert DEFAULT_GPU.wavefront_size == 64
+
+
+def test_table2_benchmark_suite(benchmark):
+    def render():
+        lines = ['Table 2: PolyBench/GPU applications (scaled inputs)']
+        for cls in registry.POLYBENCH:
+            b = cls()
+            lines.append(f'  {b.name:10s} test={b.test_params} '
+                         f'bench={b.bench_params}')
+        return '\n'.join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit(text)
+    assert len(registry.POLYBENCH) == 15
+
+
+def test_table3_configurations(benchmark):
+    def render():
+        lines = ['Table 3: benchmark configurations']
+        for name, c in CONFIGS.items():
+            lines.append(f'  {name:12s} kind={c.kind:7s} lanes={c.lanes:2d} '
+                         f'prefetch={c.prefetch} pcv={c.pcv} '
+                         f'long_lines={c.long_lines}')
+        for name, m in META_CONFIGS.items():
+            lines.append(f'  {name:12s} best of {m.members}')
+        return '\n'.join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit(text)
+    for required in ('NV', 'NV_PF', 'PCV_PF', 'V4', 'V16', 'GPU'):
+        assert required in CONFIGS
+    assert 'BEST_V' in META_CONFIGS

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare Table 3 configurations on one PolyBench kernel.
+
+Runs a benchmark (default: bicg, one of the paper's best cases for
+software-defined vectors) under the manycore baselines, the vector
+configurations, and the GPU model, verifying each result against numpy and
+printing cycles / fetches / energy.
+
+Run:  python examples/compare_configs.py [benchmark] [scale]
+      python examples/compare_configs.py gemm bench
+"""
+
+import sys
+
+from repro.harness import run_benchmark
+from repro.kernels import registry
+
+CONFIGS = ['NV', 'NV_PF', 'PCV_PF', 'V4', 'V4_PCV', 'V16', 'GPU']
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else 'bicg'
+    scale = sys.argv[2] if len(sys.argv) > 2 else 'bench'
+    bench = registry.make(name)
+    params = bench.params_for('test' if scale == 'test' else 'bench')
+    print(f'benchmark: {name}  params: {params}')
+    print(f'{"config":10s} {"cycles":>9s} {"speedup":>8s} {"instrs":>9s} '
+          f'{"fetches":>9s} {"energy":>10s}')
+
+    base = None
+    for cfg in CONFIGS:
+        if name in ('gramschm', 'bfs') and cfg.endswith('PCV'):
+            continue  # no SIMD variant (paper Table 2 footnote)
+        r = run_benchmark(bench, cfg, params)
+        if base is None:
+            base = r.cycles
+        energy = (f'{r.energy.on_chip_total / 1e6:8.2f}uJ'
+                  if r.energy else '       -')
+        print(f'{cfg:10s} {r.cycles:9d} {base / r.cycles:7.2f}x '
+              f'{r.instrs:9d} {r.icache_accesses:9d} {energy}')
+    print('\nall configurations verified against the numpy reference')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: form a software-defined vector group and run a DAE kernel.
+
+This walks the core abstractions end to end on a 4x4 fabric:
+
+1. build a machine and allocate global memory,
+2. describe a vector group (1 scalar core + 3 lanes),
+3. write the scalar stream: a wide GROUP vload feeding a frame, and a
+   ``vissue``d microthread that consumes it,
+4. run, and read the result back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import GroupDescriptor
+from repro.isa import Assembler, VL_GROUP, opcodes as op
+from repro.kernels.codegen import pack_frame_cfg
+from repro.manycore import Fabric, small_config
+
+LANES = 3
+FRAME_SIZE = 4
+
+
+def main():
+    fabric = Fabric(small_config())
+
+    # input: 3 lanes x 4 words; output: one sum per lane
+    data = [float(i + 1) for i in range(LANES * FRAME_SIZE)]
+    src = fabric.alloc(data)
+    out = fabric.alloc(8)
+
+    # a vector group over tiles 0..3: tile 0 leads, tiles 1-3 are lanes
+    group = GroupDescriptor(0, tiles=[0, 1, 2, 3])
+    handle = fabric.register_group(group)
+
+    a = Assembler()
+    a.csrr('x1', op.CSR_COREID)
+    a.li('x2', LANES)
+    a.bge('x1', 'x2', 'not_member')       # tiles 4..15 idle
+    a.beq('x1', 'x0', 'scalar_core')
+
+    # --- vector lanes: configure frames, then enter vector mode ---------
+    a.li('x3', pack_frame_cfg(FRAME_SIZE, 8))
+    a.csrw(op.CSR_FRAME_CFG, 'x3')
+    a.li('x4', handle)
+    a.vconfig('x4')
+    a.halt()  # never reached: devec redirects lanes to 'resume'
+
+    a.bind('not_member')
+    a.li('x2', LANES + 1)
+    a.blt('x1', 'x2', 'lane3')            # tile 3 is also a lane
+    a.halt()
+    a.bind('lane3')
+    a.li('x3', pack_frame_cfg(FRAME_SIZE, 8))
+    a.csrw(op.CSR_FRAME_CFG, 'x3')
+    a.li('x4', handle)
+    a.vconfig('x4')
+    a.halt()
+
+    # --- scalar core: run ahead, issue the wide load, launch the lanes --
+    a.bind('scalar_core')
+    a.li('x4', handle)
+    a.vconfig('x4')
+    a.li('x10', src)                      # memory address
+    a.li('x11', 0)                        # frame-slot offset in the spads
+    a.vload('x11', 'x10', 0, FRAME_SIZE, VL_GROUP)
+    a.vissue('sum_microthread')
+    a.devec('resume')
+    a.j('resume')
+
+    a.bind('resume')
+    a.barrier()
+    a.halt()
+
+    # --- the microthread every lane executes in lockstep ----------------
+    a.bind('sum_microthread')
+    a.frame_start('x8')                   # blocks until the frame is full
+    a.li('f5', 0.0)
+    for i in range(FRAME_SIZE):
+        a.lwsp('f1', 'x8', i)
+        a.fadd('f5', 'f5', 'f1')
+    a.remem()                             # free the frame
+    a.csrr('x5', op.CSR_TID)
+    a.li('x7', out)
+    a.add('x7', 'x7', 'x5')
+    a.sw('f5', 'x7', 0)                   # out[lane] = sum
+    a.vend()
+
+    program = a.finish()
+    fabric.load_program(program)
+    stats = fabric.run()
+
+    sums = fabric.read_array(out, LANES)
+    print('per-lane sums:', sums)
+    expected = [sum(data[i * FRAME_SIZE:(i + 1) * FRAME_SIZE])
+                for i in range(LANES)]
+    assert sums == expected, (sums, expected)
+    print(f'cycles: {stats.cycles}')
+    print(f'instructions: {stats.total_instrs}')
+    print(f'i-cache accesses: {stats.total_icache_accesses} '
+          f'(lanes received the rest over the inet)')
+    print('OK')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Configurable vector length: sweep group sizes on one kernel.
+
+Software-defined vectors let the application pick its hardware vector
+length (paper Section 2.1); this sweep shows the trade-off the paper's
+Figure 16 explores: longer groups amortize more frontend energy but
+concentrate more memory work on a single scalar core.
+
+Run:  python examples/vector_length_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro.core.vgroup import plan_groups, utilization
+from repro.harness import run_benchmark
+from repro.harness.configs import Config
+from repro.kernels import registry
+from repro.manycore import DEFAULT_CONFIG
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else 'bicg'
+    bench = registry.make(name)
+    params = bench.bench_params
+    w, h = DEFAULT_CONFIG.mesh_width, DEFAULT_CONFIG.mesh_height
+    print(f'benchmark: {name}  params: {params}  fabric: {w}x{h}\n')
+    print(f'{"lanes":>6s} {"groups":>7s} {"tiles used":>11s} '
+          f'{"cycles":>9s} {"fetches":>9s} {"energy":>10s}')
+
+    for lanes in (2, 4, 8, 16):
+        groups, idle = plan_groups(w, h, lanes)
+        cfg = Config(f'V{lanes}', 'vector', lanes=lanes)
+        r = run_benchmark(bench, cfg, params)
+        used = w * h - len(idle)
+        print(f'{lanes:6d} {len(groups):7d} {used:8d} '
+              f'({utilization(w, h, lanes):4.0%}) {r.cycles:9d} '
+              f'{r.icache_accesses:9d} '
+              f'{r.energy.on_chip_total / 1e6:8.2f}uJ')
+
+    print('\nshorter groups keep more scalar cores feeding memory; longer '
+          'groups amortize\nmore fetch energy — the best point is '
+          'per-application (paper Figure 16).')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,19 @@
+"""repro — a reproduction of *Software-Defined Vector Processing on
+Manycore Fabrics* (Rockcress, MICRO 2021).
+
+Public API highlights:
+
+* :class:`repro.manycore.Fabric` — the simulated machine
+* :class:`repro.isa.Assembler` — write mini-ISA programs
+* :mod:`repro.core` — the software-defined vector mechanisms
+* :mod:`repro.kernels` — PolyBench/GPU kernels for every configuration
+* :mod:`repro.harness` — Table 3 configurations and figure regeneration
+"""
+
+from .isa import Assembler, Program
+from .manycore import DEFAULT_CONFIG, Fabric, MachineConfig, RunStats
+
+__version__ = '0.1.0'
+
+__all__ = ['Assembler', 'Program', 'Fabric', 'MachineConfig',
+           'DEFAULT_CONFIG', 'RunStats', '__version__']

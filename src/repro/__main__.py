@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available benchmarks and configurations.
+``run BENCH CONFIG [--scale test|bench]``
+    Simulate one point, verify against numpy, print cycles/energy.
+``figure NAME``
+    Regenerate one paper figure (fig10a, fig10b, fig10c, fig11, fig14a,
+    fig15c, fig16, fig17a, bfs).
+``experiment FILE.json``
+    Run a JSON experiment description (see harness/experiments.py and
+    examples/experiments/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_list(args):
+    from .harness.configs import CONFIGS, META_CONFIGS
+    from .kernels import registry
+    print('benchmarks:')
+    for cls in registry.ALL:
+        b = cls()
+        print(f'  {b.name:10s} bench={b.bench_params}')
+    print('configurations:')
+    for name in CONFIGS:
+        print(f'  {name}')
+    for name in META_CONFIGS:
+        print(f'  {name} (meta)')
+    return 0
+
+
+def cmd_run(args):
+    from .harness import run_benchmark
+    from .kernels import registry
+    bench = registry.make(args.benchmark)
+    params = bench.params_for(args.scale)
+    r = run_benchmark(bench, args.config, params)
+    print(f'{bench.name} / {r.config}  params={params}')
+    print(f'  cycles        {r.cycles}')
+    print(f'  instructions  {r.instrs}')
+    print(f'  icache        {r.icache_accesses}')
+    if r.energy is not None:
+        print(f'  energy        {r.energy.on_chip_total / 1e6:.3f} uJ '
+              f'on-chip (+{r.energy.dram / 1e6:.3f} uJ DRAM)')
+    print('  verified against the numpy reference')
+    return 0
+
+
+FIGURES = {
+    'fig10a': 'fig10a_speedup', 'fig10b': 'fig10b_icache',
+    'fig10c': 'fig10c_energy', 'fig11': 'fig11_scalability',
+    'fig14a': 'fig14a_speedup', 'fig14b': 'fig14b_icache',
+    'fig14c': 'fig14c_energy', 'fig15c': 'fig15c_frame_stalls',
+    'fig16': 'fig16_vector_lengths', 'fig17a': 'fig17a_miss_rate',
+    'fig17b': 'fig17b_llc_capacity', 'fig17c': 'fig17c_noc_width',
+    'bfs': 'bfs_irregular',
+}
+
+
+def cmd_figure(args):
+    from .harness import figures as F
+    fn = getattr(F, FIGURES[args.name])
+    cache = F.ResultCache(scale=args.scale)
+    series = fn(cache)
+    print(series.render())
+    return 0
+
+
+def cmd_experiment(args):
+    from .harness.experiments import run_experiment
+    result = run_experiment(args.file)
+    print(result.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog='repro',
+        description='Rockcress (MICRO 2021) reproduction CLI')
+    sub = parser.add_subparsers(dest='command', required=True)
+
+    sub.add_parser('list', help='show benchmarks and configurations')
+
+    p = sub.add_parser('run', help='simulate one benchmark/configuration')
+    p.add_argument('benchmark')
+    p.add_argument('config')
+    p.add_argument('--scale', choices=('test', 'bench'), default='bench')
+
+    p = sub.add_parser('figure', help='regenerate one paper figure')
+    p.add_argument('name', choices=sorted(FIGURES))
+    p.add_argument('--scale', choices=('test', 'bench'), default='bench')
+
+    p = sub.add_parser('experiment', help='run a JSON experiment file')
+    p.add_argument('file')
+
+    args = parser.parse_args(argv)
+    return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
+            'experiment': cmd_experiment}[args.command](args)
+
+
+if __name__ == '__main__':
+    sys.exit(main())

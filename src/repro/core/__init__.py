@@ -1,0 +1,24 @@
+"""Software-defined vector mechanisms (the paper's primary contribution).
+
+* :mod:`repro.core.vgroup` — vector-group descriptors and fabric layout
+* :mod:`repro.core.inet` — the instruction forwarding network
+* :mod:`repro.core.frames` — DAE frame-queue bookkeeping
+* :mod:`repro.core.wide_access` — wide vector-load expansion
+* :mod:`repro.core.sync` — compiler-driven implicit synchronization bounds
+"""
+
+from .frames import FrameQueue, FrameWindowOverflow
+from .inet import InetQueue, MSG_DEVEC, MSG_INST, MSG_LAUNCH
+from .sync import (ahead_offset, instruction_delay_bound, num_active_frames,
+                   safe_runahead)
+from .vgroup import (GroupDescriptor, ROLE_EXPANDER, ROLE_INDEPENDENT,
+                     ROLE_SCALAR, ROLE_VECTOR, plan_groups, serpentine_order,
+                     utilization)
+from .wide_access import VloadError, expand_vload, recipients
+
+__all__ = ['FrameQueue', 'FrameWindowOverflow', 'InetQueue',
+           'GroupDescriptor', 'plan_groups', 'serpentine_order',
+           'utilization', 'expand_vload', 'recipients', 'VloadError',
+           'safe_runahead', 'instruction_delay_bound', 'num_active_frames',
+           'ahead_offset', 'MSG_INST', 'MSG_LAUNCH', 'MSG_DEVEC',
+           'ROLE_INDEPENDENT', 'ROLE_SCALAR', 'ROLE_EXPANDER', 'ROLE_VECTOR']

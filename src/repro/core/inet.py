@@ -1,0 +1,71 @@
+"""The instruction forwarding network (inet), paper Section 3.2.
+
+The inet is a static network of direct 1-cycle links between mesh-adjacent
+tiles.  Within a vector group the links form a single path:
+
+    scalar -> expander -> vector_1 -> vector_2 -> ... -> vector_{N-1}
+
+Each receiving core has a small input queue (2 entries in the paper).  A
+sender stalls when the receiver's queue is full — this bounded queueing is
+what makes the paper's compiler-driven implicit synchronization sound.
+
+Messages are tagged tuples:
+
+* ``('inst', Instr)``   — a forwarded vector instruction
+* ``('launch', pc)``    — a ``vissue`` microthread launch
+* ``('devec', pc)``     — disband; resume MIMD execution at ``pc``
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+MSG_INST = 'inst'
+MSG_LAUNCH = 'launch'
+MSG_DEVEC = 'devec'
+
+
+class InetQueue:
+    """One tile's inet input queue: bounded, with a 1-cycle link delay."""
+
+    __slots__ = ('capacity', 'hop_latency', '_q', 'stall_empty',
+                 'stall_full_upstream')
+
+    def __init__(self, capacity: int = 2, hop_latency: int = 1):
+        self.capacity = capacity
+        self.hop_latency = hop_latency
+        self._q = deque()  # entries: (ready_cycle, kind, payload)
+        self.stall_empty = 0
+        self.stall_full_upstream = 0
+
+    def __len__(self):
+        return len(self._q)
+
+    def can_accept(self) -> bool:
+        return len(self._q) < self.capacity
+
+    def push(self, now: int, kind: str, payload) -> None:
+        if not self.can_accept():
+            raise RuntimeError('inet queue overflow (sender must check)')
+        self._q.append((now + self.hop_latency, kind, payload))
+
+    def peek(self, now: int) -> Optional[Tuple[str, object]]:
+        """Head message if it has traversed the link, else None."""
+        if self._q and self._q[0][0] <= now:
+            _, kind, payload = self._q[0]
+            return kind, payload
+        return None
+
+    def pop(self, now: int) -> Tuple[str, object]:
+        ready, kind, payload = self._q[0]
+        if ready > now:
+            raise RuntimeError('popping an in-flight inet message')
+        self._q.popleft()
+        return kind, payload
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Cycle at which the head message becomes visible (for wakeups)."""
+        if self._q:
+            return self._q[0][0]
+        return None

@@ -1,0 +1,66 @@
+"""Compiler-driven implicit synchronization bounds (paper Section 4.2).
+
+The inet is a bounded queue, so any core in a vector group can trail any
+other by at most a bounded number of dynamic instructions.  The paper derives
+
+    n = (2m - 2) * q_inet + sum_i(buf_i) + ROB
+
+for an m x m vector group, then sizes the scalar core's safe runahead:
+
+    num_active_frames = ceil(n / instructions_per_frame)
+    ahead_offset      = max_frames - (num_active_frames + q_inet)
+
+The codegen layer uses :func:`safe_runahead` to pace ``vload``s so the frame
+counter window (5 counters in Rockcress) is never overrun.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def instruction_delay_bound(group_tiles: int, inet_queue: int,
+                            pipeline_buf_total: int, rob_entries: int) -> int:
+    """Max dynamic-instruction separation between any two cores in a group.
+
+    ``group_tiles`` is the total number of cores on the inet path (scalar +
+    lanes); the longest forwarding path in the paper's m x m formulation is
+    ``2m - 2`` hops, which for a linear path of ``t`` tiles is ``t - 1``
+    hops.  We use the path length directly since our groups are laid out as
+    serpentine chains.
+    """
+    hops = max(1, group_tiles - 1)
+    return hops * inet_queue + pipeline_buf_total + rob_entries
+
+
+def num_active_frames(delay_bound: int, instructions_per_frame: int) -> int:
+    """Frames that may be simultaneously live given the delay bound."""
+    if instructions_per_frame <= 0:
+        raise ValueError('instructions_per_frame must be positive')
+    return math.ceil(delay_bound / instructions_per_frame)
+
+
+def ahead_offset(max_frames: int, active_frames: int, inet_queue: int) -> int:
+    """How many frames the scalar core may run ahead (paper's formula)."""
+    return max_frames - (active_frames + inet_queue)
+
+
+def safe_runahead(group_tiles: int, instructions_per_frame: int,
+                  max_frames: int = 5, inet_queue: int = 2,
+                  pipeline_buf_total: int = 8, rob_entries: int = 8) -> int:
+    """Conservative scalar runahead distance in frames (always >= 1).
+
+    The paper's formula can go non-positive for short microthreads; real
+    code then needs extra synchronization.  Our codegen clamps to the
+    structurally safe bound ``max_frames - inet_queue - 1`` (the inet can
+    hold ``inet_queue`` undelivered microthread launches and one microthread
+    may be executing), and never below 1.
+    """
+    n = instruction_delay_bound(group_tiles, inet_queue,
+                                pipeline_buf_total, rob_entries)
+    active = num_active_frames(n, instructions_per_frame)
+    ahead = ahead_offset(max_frames, active, inet_queue)
+    structural_cap = max(1, max_frames - inet_queue - 1)
+    if ahead < 1:
+        ahead = structural_cap
+    return min(ahead, structural_cap)

@@ -1,0 +1,119 @@
+"""Wide vector-load expansion (paper Sections 2.3.2 and 3.4).
+
+A ``vload`` names a memory address, a destination scratchpad offset, a first
+recipient (``core_off``), a per-core width, and a variant.  The LLC serves
+the whole request from one cache line and scatters serialized word responses
+as
+
+    (Addr + Cnt) -> (BC + Cnt / RPC,  BO + Cnt % RPC)
+
+This module turns a vload into *chunks* — ``(addr, count, dest_core,
+dest_spad_off)`` — each of which the LLC bank later emits as one or more
+response packets.  Unaligned accesses use the paper's instruction-pair
+scheme: a PREFIX part covering the tail of the first line and a SUFFIX part
+covering the head of the second; both are issued with identical operands and
+each generates a request to (at most) one line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import (VL_ALIGNED, VL_GROUP, VL_PREFIX, VL_SELF,
+                               VL_SINGLE, VL_SUFFIX)
+
+Chunk = Tuple[int, int, int, int]  # (addr, count, dest_core, dest_spad_off)
+
+
+class VloadError(Exception):
+    """A malformed wide access (bad variant, span, or recipient)."""
+
+
+def recipients(variant: int, core_off: int, lanes: List[int],
+               requester: int) -> List[int]:
+    """Cores that receive data, in response order."""
+    if variant == VL_SELF:
+        return [requester]
+    if not lanes:
+        raise VloadError('SINGLE/GROUP vload outside a vector group')
+    if variant == VL_SINGLE:
+        if not 0 <= core_off < len(lanes):
+            raise VloadError(f'core_off {core_off} out of range')
+        return [lanes[core_off]]
+    if variant == VL_GROUP:
+        if not 0 <= core_off < len(lanes):
+            raise VloadError(f'core_off {core_off} out of range')
+        return lanes[core_off:]
+    raise VloadError(f'unknown vload variant {variant}')
+
+
+def group_recipients_capped(core_off: int, lanes: List[int], width: int,
+                            line_words: int) -> List[int]:
+    """GROUP recipients, capped so the total request fits one cache line.
+
+    The paper limits a vector load to a single cache line; when
+    ``width * remaining_lanes`` would exceed it, the response simply stops
+    at the line boundary, i.e. only the first ``line_words // width`` lanes
+    from ``core_off`` receive data.  Software issues further GROUP loads at
+    stepped core offsets to cover wider spans.
+    """
+    max_lanes = max(1, line_words // width)
+    return lanes[core_off:core_off + max_lanes]
+
+
+def expand_vload(addr: int, spad_off: int, core_off: int, width: int,
+                 variant: int, part: int, lanes: List[int], requester: int,
+                 line_words: int) -> Optional[Tuple[int, List[Chunk]]]:
+    """Compute the request for one vload instruction.
+
+    Returns ``(start_addr, chunks)`` covering this part's word range, or
+    ``None`` when the part covers no words (e.g. the SUFFIX half of an
+    access that turned out to be aligned).  All words of one part live in a
+    single cache line, which is what lets the LLC serve it with one lookup.
+    """
+    if width <= 0:
+        raise VloadError('vload of zero words')
+    dests = recipients(variant, core_off, lanes, requester)
+    if variant == VL_GROUP:
+        dests = group_recipients_capped(core_off, lanes, width, line_words)
+    total = width * len(dests) if variant == VL_GROUP else width
+    if total <= 0:
+        raise VloadError('vload of zero words')
+
+    line_off = addr % line_words
+    first_line_words = min(total, line_words - line_off)
+    if part == VL_ALIGNED:
+        if line_off + total > line_words:
+            raise VloadError(
+                f'aligned vload spans lines: addr={addr} total={total} '
+                f'(use the PREFIX/SUFFIX pair for unaligned accesses)')
+        lo, hi = 0, total
+    elif part == VL_PREFIX:
+        lo, hi = 0, first_line_words
+    elif part == VL_SUFFIX:
+        lo, hi = first_line_words, total
+    else:
+        raise VloadError(f'unknown vload part {part}')
+    if lo >= hi:
+        return None
+    if part == VL_SUFFIX and hi - lo > line_words:
+        raise VloadError('vload longer than two cache lines')
+
+    # Build per-recipient contiguous chunks over the word range [lo, hi).
+    chunks: List[Chunk] = []
+    k = lo
+    while k < hi:
+        if variant == VL_GROUP:
+            d = k // width
+            in_core = k % width
+        else:
+            d = 0
+            in_core = k
+        run = min(hi, (d + 1) * width if variant == VL_GROUP else hi) - k
+        chunks.append((addr + k, run, dests[d], spad_off + in_core))
+        k += run
+    return addr + lo, chunks
+
+
+def total_words(chunks: List[Chunk]) -> int:
+    return sum(c[1] for c in chunks)

@@ -1,0 +1,7 @@
+"""First-order dynamic energy model (paper Section 5.2)."""
+
+from .model import (EnergyBreakdown, EnergyModel, EnergyParams,
+                    compute_energy)
+
+__all__ = ['EnergyModel', 'EnergyParams', 'EnergyBreakdown',
+           'compute_energy']

@@ -1,0 +1,31 @@
+"""The GPU (APU) comparator model, paper Section 5.3."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .config import DEFAULT_GPU, GpuConfig
+from .machine import GpuError, GpuMachine, GpuMemSystem, Wavefront
+
+
+def run_gpu_benchmark(bench, params: Dict[str, int], verify: bool = True,
+                      cfg: GpuConfig = DEFAULT_GPU):
+    """Run one benchmark on the GPU model; returns a harness RunResult."""
+    from ..harness.runner import RunResult
+    from ..manycore.stats import RunStats
+    from .kernels import build_launches
+
+    gm = GpuMachine(cfg)
+    ws = bench.setup(gm, params)
+    launches = build_launches(bench.name, ws, params, cfg)
+    for program, entry in launches:
+        gm.launch(program, entry)
+    if verify:
+        bench.verify(gm, ws, params)
+    stats = RunStats()
+    stats.cycles = gm.cycle
+    return RunResult(bench.name, 'GPU', gm.cycle, stats)
+
+
+__all__ = ['GpuMachine', 'GpuConfig', 'DEFAULT_GPU', 'GpuError',
+           'GpuMemSystem', 'Wavefront', 'run_gpu_benchmark']

@@ -1,0 +1,50 @@
+"""GPU (APU) model parameters, paper Table 1b."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """The paper's under-provisioned APU configuration.
+
+    The CU count follows the paper's area argument: roughly 4x more vector
+    ALU lanes than the manycore has scalar ALUs per unit area, but few
+    wavefronts per CU, so there is little latency-hiding headroom.
+    """
+
+    compute_units: int = 4
+    wavefronts_per_cu: int = 4
+    wavefront_size: int = 64
+    valu_lanes: int = 16
+    valu_latency: int = 4       # a 64-thread wavefront retires in 4 cycles
+
+    cache_line_bytes: int = 64
+
+    tcp_capacity_bytes: int = 16 * 1024    # per-CU L1
+    tcp_hit_latency: int = 1
+    tcp_ways: int = 16
+    tcc_capacity_bytes: int = 256 * 1024   # shared L2
+    tcc_hit_latency: int = 2
+    tcc_ways: int = 16
+    llc_capacity_bytes: int = 4 * 1024 * 1024  # shared L3
+    llc_hit_latency: int = 2
+    llc_ways: int = 16
+
+    dram_latency: int = 60
+    dram_bandwidth_words_per_cycle: float = 4.0
+
+    kernel_launch_overhead: int = 300  # host dispatch + pipeline drain
+
+    @property
+    def line_words(self) -> int:
+        return self.cache_line_bytes // 4
+
+    @property
+    def total_threads(self) -> int:
+        return (self.compute_units * self.wavefronts_per_cu *
+                self.wavefront_size)
+
+
+DEFAULT_GPU = GpuConfig()

@@ -1,0 +1,7 @@
+"""Experiment harness: Table 3 configurations, runner, and figure printers."""
+
+from .configs import CONFIGS, META_CONFIGS, Config, MetaConfig, get
+from .runner import RunResult, run_benchmark
+
+__all__ = ['CONFIGS', 'META_CONFIGS', 'Config', 'MetaConfig', 'get',
+           'RunResult', 'run_benchmark']

@@ -1,0 +1,474 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Each ``fig*`` function returns a :class:`Series` — per-benchmark rows of
+per-configuration values plus a mean — and can render itself as the text
+analogue of the paper's plot.  A shared :class:`ResultCache` makes sure
+each (benchmark, configuration, machine-override) point simulates once per
+session even when several figures need it.
+
+Inputs are scaled down from the paper's (see EXPERIMENTS.md); the point of
+these harnesses is the *shape* — who wins, by what factor, where the
+crossovers sit — not absolute cycle counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.vgroup import plan_groups
+from ..kernels import registry
+from ..manycore import DEFAULT_CONFIG, MachineConfig
+from .configs import CONFIGS, META_CONFIGS, get
+from .runner import RunResult, run_benchmark
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def amean(values: Sequence[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+class ResultCache:
+    """Memoize simulation results across figures."""
+
+    def __init__(self, scale: str = 'bench', verify: bool = True):
+        self.scale = scale
+        self.verify = verify
+        self._results: Dict[tuple, RunResult] = {}
+
+    def run(self, bench_name: str, config_name: str,
+            machine: Optional[MachineConfig] = None,
+            active_cores: Optional[tuple] = None,
+            params_override: Optional[dict] = None) -> RunResult:
+        key = (bench_name, config_name, machine, active_cores,
+               tuple(sorted((params_override or {}).items())))
+        if key not in self._results:
+            bench = registry.make(bench_name)
+            params = bench.params_for('test' if self.scale == 'test'
+                                      else 'bench')
+            if params_override:
+                params.update(params_override)
+            self._results[key] = run_benchmark(
+                bench, config_name, params, base_machine=machine,
+                verify=self.verify,
+                active_cores=list(active_cores) if active_cores else None)
+        return self._results[key]
+
+
+@dataclass
+class Series:
+    """One figure's data: rows (benchmarks) x columns (configurations)."""
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    mean_kind: str = 'geomean'
+    value_format: str = '{:.2f}'
+    note: str = ''
+
+    def add(self, row: str, col: str, value: float) -> None:
+        self.rows.setdefault(row, {})[col] = value
+
+    def mean_row(self) -> Dict[str, float]:
+        fn = geomean if self.mean_kind == 'geomean' else amean
+        out = {}
+        for col in self.columns:
+            out[col] = fn([r[col] for r in self.rows.values() if col in r])
+        return out
+
+    def render(self) -> str:
+        name_w = max([len(r) for r in self.rows] + [10])
+        col_w = max([len(c) for c in self.columns] + [8]) + 1
+        lines = [self.title]
+        if self.note:
+            lines.append(self.note)
+        header = ' ' * name_w + ''.join(f'{c:>{col_w}}'
+                                        for c in self.columns)
+        lines.append(header)
+        lines.append('-' * len(header))
+        for row, vals in self.rows.items():
+            cells = ''.join(
+                f'{self.value_format.format(vals[c]):>{col_w}}'
+                if c in vals else f'{"-":>{col_w}}'
+                for c in self.columns)
+            lines.append(f'{row:<{name_w}}{cells}')
+        mean = self.mean_row()
+        label = 'GeoMean' if self.mean_kind == 'geomean' else 'ArithMean'
+        cells = ''.join(f'{self.value_format.format(mean[c]):>{col_w}}'
+                        for c in self.columns)
+        lines.append('-' * len(header))
+        lines.append(f'{label:<{name_w}}{cells}')
+        return '\n'.join(lines)
+
+
+POLY = [c.name for c in registry.POLYBENCH]
+
+
+# ------------------------------------------------------------------ Figure 10
+def fig10a_speedup(cache: ResultCache,
+                   benches: Sequence[str] = POLY) -> Series:
+    """Speedup over the NV baseline (paper Figure 10a)."""
+    s = Series('Figure 10a: speedup relative to NV',
+               ['NV', 'NV_PF', 'BEST_V'])
+    for b in benches:
+        base = cache.run(b, 'NV').cycles
+        s.add(b, 'NV', 1.0)
+        s.add(b, 'NV_PF', base / cache.run(b, 'NV_PF').cycles)
+        s.add(b, 'BEST_V', base / _best_v(cache, b).cycles)
+    return s
+
+
+def fig10b_icache(cache: ResultCache,
+                  benches: Sequence[str] = POLY) -> Series:
+    """I-cache accesses relative to NV (paper Figure 10b)."""
+    s = Series('Figure 10b: I-cache accesses relative to NV',
+               ['NV', 'NV_PF', 'BEST_V'])
+    for b in benches:
+        base = cache.run(b, 'NV').icache_accesses
+        s.add(b, 'NV', 1.0)
+        s.add(b, 'NV_PF', cache.run(b, 'NV_PF').icache_accesses / base)
+        s.add(b, 'BEST_V', _best_v(cache, b).icache_accesses / base)
+    return s
+
+
+def fig10c_energy(cache: ResultCache,
+                  benches: Sequence[str] = POLY) -> Series:
+    """Total on-chip energy relative to NV (paper Figure 10c)."""
+    s = Series('Figure 10c: total on-chip energy relative to NV',
+               ['NV', 'NV_PF', 'BEST_V'])
+    for b in benches:
+        base = cache.run(b, 'NV').energy.on_chip_total
+        s.add(b, 'NV', 1.0)
+        s.add(b, 'NV_PF',
+              cache.run(b, 'NV_PF').energy.on_chip_total / base)
+        s.add(b, 'BEST_V', _best_v(cache, b).energy.on_chip_total / base)
+    return s
+
+
+def _best_v(cache: ResultCache, bench: str) -> RunResult:
+    """BEST_V: fastest of V4/V16, plus long lines where the paper uses
+    them (Table 3's "Long Lines: ?")."""
+    members = ['V4', 'V16']
+    # the long-line variants need bench-scale inputs (row spans of one
+    # 256-byte line)
+    if bench in registry.LONG_LINE_SET and cache.scale == 'bench':
+        members.append('V16_LL')
+    best = None
+    for m in members:
+        r = cache.run(bench, m)
+        if best is None or r.cycles < best.cycles:
+            best = r
+    return best
+
+
+def _best_v_pcv(cache: ResultCache, bench: str) -> RunResult:
+    if bench == 'gramschm':
+        return _best_v(cache, bench)  # paper: no SIMD variant; closest valid
+    best = None
+    for m in ('V4_PCV', 'V16_PCV'):
+        r = cache.run(bench, m)
+        if best is None or r.cycles < best.cycles:
+            best = r
+    return best
+
+
+# ------------------------------------------------------------------ Figure 11
+CORE_COUNTS = (1, 4, 16, 64)
+
+
+def fig11_scalability(cache: ResultCache,
+                      benches: Sequence[str] = POLY) -> Series:
+    """NV_PF speedup for 1/4/16/64 cores over one core (Figure 11)."""
+    cols = [f'NV_PF_{n}' for n in CORE_COUNTS]
+    s = Series('Figure 11: NV_PF speedup vs a single core', cols)
+    for b in benches:
+        base = cache.run(b, 'NV_PF', active_cores=(0,)).cycles
+        for n in CORE_COUNTS:
+            r = cache.run(b, 'NV_PF', active_cores=tuple(range(n)))
+            s.add(b, f'NV_PF_{n}', base / r.cycles)
+    return s
+
+
+# ------------------------------------------------- Figures 12/13 (CPI stacks)
+CPI_COMPONENTS = ('issued', 'frame', 'inet', 'other')
+
+
+def cpi_stack(result: RunResult, cores: Optional[Sequence[int]] = None
+              ) -> Dict[str, float]:
+    """Per-core CPI decomposition (paper footnote 1): each component is
+    stall cycles per issued instruction; the total equals the actual CPI."""
+    stats = [result.stats.cores[c] for c in
+             (cores if cores is not None else result.stats.cores)]
+    stats = [c for c in stats if c.instrs > 0]
+    instrs = sum(c.instrs for c in stats)
+    if instrs == 0:
+        return {k: 0.0 for k in CPI_COMPONENTS}
+    frame = sum(c.stall_frame + c.stall_loadq for c in stats)
+    inet = sum(c.stall_inet_input + c.stall_backpressure for c in stats)
+    other = sum(c.stall_scoreboard + c.stall_branch + c.stall_other
+                for c in stats)
+    return {
+        'issued': 1.0,
+        'frame': frame / instrs,
+        'inet': inet / instrs,
+        'other': other / instrs,
+    }
+
+
+def fig12_cpi_by_cores(cache: ResultCache,
+                       benches: Sequence[str] = POLY) -> Dict[str, Dict]:
+    """CPI stacks for NV_PF at 1/16/64 cores (Figure 12)."""
+    out = {}
+    for b in benches:
+        out[b] = {}
+        for n in (1, 16, 64):
+            r = cache.run(b, 'NV_PF', active_cores=tuple(range(n)))
+            out[b][f'NV_PF_{n}'] = cpi_stack(r)
+    return out
+
+
+def fig13_cpi_bandwidth(cache: ResultCache,
+                        benches: Sequence[str] = POLY) -> Dict[str, Dict]:
+    """CPI stacks: NV_PF vs NV_PF with 2x DRAM bandwidth vs V4 (Fig 13).
+
+    For V4 only expander cores are averaged, as in the paper ("the root
+    cause of a stall is not apparent in a non-expander vector core").
+    """
+    bw2 = DEFAULT_CONFIG.scaled(
+        dram_bandwidth_words_per_cycle=2 *
+        DEFAULT_CONFIG.dram_bandwidth_words_per_cycle)
+    groups, _ = plan_groups(DEFAULT_CONFIG.mesh_width,
+                            DEFAULT_CONFIG.mesh_height, 4)
+    expanders = [g.expander for g in groups]
+    out = {}
+    for b in benches:
+        out[b] = {
+            'B': cpi_stack(cache.run(b, 'NV_PF')),
+            '2X': cpi_stack(cache.run(b, 'NV_PF', machine=bw2)),
+            'V4': cpi_stack(cache.run(b, 'V4'), cores=expanders),
+        }
+    return out
+
+
+def render_cpi(table: Dict[str, Dict], title: str) -> str:
+    lines = [title]
+    for b, cfgs in table.items():
+        for cfg, comp in cfgs.items():
+            total = sum(comp.values())
+            parts = ' '.join(f'{k}={v:.2f}' for k, v in comp.items())
+            lines.append(f'  {b:10s} {cfg:10s} CPI={total:6.2f}  {parts}')
+    return '\n'.join(lines)
+
+
+# ------------------------------------------------------------------ Figure 14
+def fig14a_speedup(cache: ResultCache,
+                   benches: Sequence[str] = POLY) -> Series:
+    """Speedup vs NV_PF with SIMD units and the GPU (Figure 14a)."""
+    s = Series('Figure 14a: speedup relative to NV_PF',
+               ['NV_PF', 'PCV_PF', 'BEST_V', 'BEST_V_PCV', 'GPU'])
+    for b in benches:
+        base = cache.run(b, 'NV_PF').cycles
+        s.add(b, 'NV_PF', 1.0)
+        s.add(b, 'PCV_PF', base / cache.run(b, 'PCV_PF').cycles)
+        s.add(b, 'BEST_V', base / _best_v(cache, b).cycles)
+        s.add(b, 'BEST_V_PCV', base / _best_v_pcv(cache, b).cycles)
+        s.add(b, 'GPU', base / cache.run(b, 'GPU').cycles)
+    return s
+
+
+def fig14b_icache(cache: ResultCache,
+                  benches: Sequence[str] = POLY) -> Series:
+    s = Series('Figure 14b: I-cache accesses relative to NV_PF',
+               ['NV_PF', 'PCV_PF', 'BEST_V', 'BEST_V_PCV'])
+    for b in benches:
+        base = cache.run(b, 'NV_PF').icache_accesses
+        s.add(b, 'NV_PF', 1.0)
+        s.add(b, 'PCV_PF', cache.run(b, 'PCV_PF').icache_accesses / base)
+        s.add(b, 'BEST_V', _best_v(cache, b).icache_accesses / base)
+        s.add(b, 'BEST_V_PCV',
+              _best_v_pcv(cache, b).icache_accesses / base)
+    return s
+
+
+def fig14c_energy(cache: ResultCache,
+                  benches: Sequence[str] = POLY) -> Series:
+    s = Series('Figure 14c: total on-chip energy relative to NV_PF',
+               ['NV_PF', 'PCV_PF', 'BEST_V', 'BEST_V_PCV'])
+    for b in benches:
+        base = cache.run(b, 'NV_PF').energy.on_chip_total
+        s.add(b, 'NV_PF', 1.0)
+        s.add(b, 'PCV_PF',
+              cache.run(b, 'PCV_PF').energy.on_chip_total / base)
+        s.add(b, 'BEST_V', _best_v(cache, b).energy.on_chip_total / base)
+        s.add(b, 'BEST_V_PCV',
+              _best_v_pcv(cache, b).energy.on_chip_total / base)
+    return s
+
+
+# ------------------------------------------------------------------ Figure 15
+FIG15_BENCHES = ('2dconv', '3dconv', 'bicg', 'gemm', 'syr2k')
+
+
+def fig15_inet_stalls(cache: ResultCache, lanes: int,
+                      benches: Sequence[str] = FIG15_BENCHES,
+                      kind: str = 'input') -> Dict[str, List[float]]:
+    """inet stalls by hop distance from the scalar core (Figures 15a/15b).
+
+    ``kind='input'`` counts input-queue-empty stalls, ``'backpressure'``
+    counts output-full stalls; both relative to total cycles, per hop.
+    """
+    cfg = DEFAULT_CONFIG
+    groups, _ = plan_groups(cfg.mesh_width, cfg.mesh_height, lanes)
+    out = {}
+    for b in benches:
+        r = cache.run(b, f'V{lanes}')
+        cycles = max(1, r.cycles)
+        per_hop = [0.0] * (lanes + 1)
+        counts = [0] * (lanes + 1)
+        for g in groups:
+            for cid in g.tiles:
+                hop = g.hop_of(cid)
+                cs = r.stats.cores[cid]
+                stall = (cs.stall_inet_input if kind == 'input'
+                         else cs.stall_backpressure)
+                per_hop[hop] += stall / cycles
+                counts[hop] += 1
+        out[b] = [per_hop[h] / counts[h] if counts[h] else 0.0
+                  for h in range(lanes + 1)]
+    return out
+
+
+def fig15c_frame_stalls(cache: ResultCache,
+                        benches: Sequence[str] = POLY) -> Series:
+    """Fraction of cycles waiting for a frame: NV_PF vs V4 (Figure 15c)."""
+    s = Series('Figure 15c: fraction of cycles waiting for a frame',
+               ['NV_PF', 'V4'], mean_kind='amean')
+    cfg = DEFAULT_CONFIG
+    groups, _ = plan_groups(cfg.mesh_width, cfg.mesh_height, 4)
+    lane_ids = [cid for g in groups for cid in g.lanes]
+    for b in benches:
+        pf = cache.run(b, 'NV_PF')
+        active = [c for c in pf.stats.cores.values() if c.instrs > 0]
+        frac = (sum(c.stall_frame + c.stall_loadq for c in active) /
+                max(1, len(active) * pf.cycles))
+        s.add(b, 'NV_PF', frac)
+        v4 = cache.run(b, 'V4')
+        vstats = [v4.stats.cores[c] for c in lane_ids]
+        frac = (sum(c.stall_frame for c in vstats) /
+                max(1, len(vstats) * v4.cycles))
+        s.add(b, 'V4', frac)
+    return s
+
+
+# ------------------------------------------------------------------ Figure 16
+def fig16_vector_lengths(cache: ResultCache,
+                         benches: Sequence[str] = POLY) -> Series:
+    """Speedup of vector-length / long-line variants over V4 (Figure 16)."""
+    s = Series('Figure 16: speedup relative to V4',
+               ['V4', 'V4_LL_PCV', 'V16', 'V16_LL_PCV'])
+    for b in benches:
+        base = cache.run(b, 'V4').cycles
+        s.add(b, 'V4', 1.0)
+        s.add(b, 'V16', base / cache.run(b, 'V16').cycles)
+        if (b in registry.LONG_LINE_SET and b != 'gramschm'
+                and cache.scale == 'bench'):
+            s.add(b, 'V4_LL_PCV',
+                  base / cache.run(b, 'V4_LL_PCV').cycles)
+            s.add(b, 'V16_LL_PCV',
+                  base / cache.run(b, 'V16_LL_PCV').cycles)
+    return s
+
+
+# ------------------------------------------------------------------ Figure 17
+def fig17a_miss_rate(cache: ResultCache,
+                     benches: Sequence[str] = POLY) -> Series:
+    """LLC miss rates (Figure 17a)."""
+    s = Series('Figure 17a: LLC miss rate',
+               ['NV', 'NV_PF', 'BEST_V', 'V16_LL'], mean_kind='amean',
+               value_format='{:.3f}')
+    for b in benches:
+        s.add(b, 'NV', cache.run(b, 'NV').stats.mem.miss_rate)
+        s.add(b, 'NV_PF', cache.run(b, 'NV_PF').stats.mem.miss_rate)
+        s.add(b, 'BEST_V', _best_v(cache, b).stats.mem.miss_rate)
+        if b in registry.LONG_LINE_SET and cache.scale == 'bench':
+            s.add(b, 'V16_LL', cache.run(b, 'V16_LL').stats.mem.miss_rate)
+    return s
+
+
+def fig17b_llc_capacity(cache: ResultCache,
+                        benches: Sequence[str] = POLY) -> Series:
+    """Sensitivity to LLC capacity (Figure 17b).
+
+    The paper shrinks the LLC to 16/32 kB for this sweep so capacity
+    pressure is visible; we do the same relative to our scaled inputs.
+    """
+    cols = []
+    s = Series('Figure 17b: speedup relative to NV_PF @ 32kB LLC', [])
+    for b in benches:
+        base = None
+        for name, cfgname in [('NV_PF', 'NV_PF'), ('V4', 'V4'),
+                              ('V16_LL', 'V16_LL')]:
+            if cfgname == 'V16_LL' and (
+                    b not in registry.LONG_LINE_SET or
+                    cache.scale != 'bench'):
+                continue
+            for kb in (16, 32):
+                machine = get(cfgname).machine().scaled(
+                    llc_capacity_bytes=kb * 1024)
+                r = cache.run(b, cfgname, machine=machine)
+                col = f'{name}_{kb}kB'
+                if col not in s.columns:
+                    s.columns.append(col)
+                if name == 'NV_PF' and kb == 32:
+                    base = r.cycles
+                s.add(b, col, r.cycles)
+        for col in list(s.rows[b]):
+            s.rows[b][col] = base / s.rows[b][col]
+    return s
+
+
+def fig17c_noc_width(cache: ResultCache,
+                     benches: Sequence[str] = POLY) -> Series:
+    """Sensitivity to on-chip network width (Figure 17c)."""
+    s = Series('Figure 17c: speedup relative to NV_PF @ NW1', [])
+    for b in benches:
+        base = None
+        for name, cfgname in [('NV_PF', 'NV_PF'), ('V4', 'V4'),
+                              ('V16_LL', 'V16_LL')]:
+            if cfgname == 'V16_LL' and (
+                    b not in registry.LONG_LINE_SET or
+                    cache.scale != 'bench'):
+                continue
+            for nw in (1, 4):
+                machine = get(cfgname).machine().scaled(
+                    noc_width_words=nw)
+                r = cache.run(b, cfgname, machine=machine)
+                col = f'{name}_NW{nw}'
+                if col not in s.columns:
+                    s.columns.append(col)
+                if name == 'NV_PF' and nw == 1:
+                    base = r.cycles
+                s.add(b, col, r.cycles)
+        for col in list(s.rows[b]):
+            s.rows[b][col] = base / s.rows[b][col]
+    return s
+
+
+# ------------------------------------------------------------- Section 6.6 bfs
+def bfs_irregular(cache: ResultCache) -> Series:
+    """NV vs vector groups on bfs (Section 6.6: NV is ~2.9x faster)."""
+    s = Series('Section 6.6: bfs speedup relative to V4 (higher = NV wins)',
+               ['NV', 'V4', 'V16'])
+    base = cache.run('bfs', 'V4').cycles
+    s.add('bfs', 'NV', base / cache.run('bfs', 'NV').cycles)
+    s.add('bfs', 'V4', 1.0)
+    s.add('bfs', 'V16', base / cache.run('bfs', 'V16').cycles)
+    return s

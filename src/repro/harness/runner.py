@@ -1,0 +1,84 @@
+"""Run benchmarks under configurations and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..kernels.base import Benchmark, VectorParams
+from ..manycore import Fabric, MachineConfig, RunStats
+from .configs import Config, MetaConfig, get
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation produced."""
+
+    benchmark: str
+    config: str
+    cycles: int
+    stats: RunStats
+    energy: Optional[object] = None  # EnergyBreakdown, filled by harness
+
+    @property
+    def icache_accesses(self) -> int:
+        return self.stats.total_icache_accesses
+
+    @property
+    def instrs(self) -> int:
+        return self.stats.total_instrs
+
+
+def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
+                  base_machine: Optional[MachineConfig] = None,
+                  verify: bool = True,
+                  active_cores: Optional[Sequence[int]] = None,
+                  max_cycles: int = 200_000_000) -> RunResult:
+    """Simulate one (benchmark, configuration) pair and verify the output.
+
+    ``config`` may be a name, a :class:`Config`, or a :class:`MetaConfig`
+    (in which case members run and the fastest result is returned, renamed).
+    """
+    if isinstance(config, str):
+        config = get(config)
+    if isinstance(config, MetaConfig):
+        best = None
+        errors = []
+        for member in config.members:
+            try:
+                r = run_benchmark(bench, member, params, base_machine,
+                                  verify, active_cores, max_cycles)
+            except ValueError as exc:  # member infeasible on this machine
+                errors.append(f'{member}: {exc}')
+                continue
+            if best is None or r.cycles < best.cycles:
+                best = r
+        if best is None:
+            raise ValueError(f'no member of {config.name} is runnable: '
+                             + '; '.join(errors))
+        return RunResult(best.benchmark, config.name, best.cycles,
+                         best.stats, best.energy)
+
+    machine = config.machine(base_machine)
+    fabric = Fabric(machine)
+    ws = bench.setup(fabric, params)
+    if config.kind == 'mimd':
+        prog = bench.build_mimd(fabric, ws, params,
+                                prefetch=config.prefetch, pcv=config.pcv)
+        fabric.load_program(prog, active_cores=active_cores)
+        stats = fabric.run(max_cycles=max_cycles)
+    elif config.kind == 'vector':
+        vp = VectorParams(lanes=config.lanes, pcv=config.pcv)
+        prog = bench.build_vector(fabric, ws, params, vp)
+        fabric.load_program(prog, active_cores=active_cores)
+        stats = fabric.run(max_cycles=max_cycles)
+    elif config.kind == 'gpu':
+        from ..gpu import run_gpu_benchmark
+        return run_gpu_benchmark(bench, params, verify=verify)
+    else:
+        raise ValueError(f'unknown config kind {config.kind!r}')
+    if verify:
+        bench.verify(fabric, ws, params)
+    from ..energy import compute_energy
+    energy = compute_energy(stats, machine)
+    return RunResult(bench.name, config.name, stats.cycles, stats, energy)

@@ -1,0 +1,13 @@
+"""The Rockcress mini-ISA: opcodes, instructions, and a structured assembler."""
+
+from . import opcodes
+from .assembler import (Assembler, Label, Program, VL_ALIGNED, VL_GROUP,
+                        VL_PREFIX, VL_SELF, VL_SINGLE, VL_SUFFIX)
+from .instruction import Instr, disasm, freg, parse_reg, reg_name, xreg
+
+__all__ = [
+    'Assembler', 'Program', 'Label', 'Instr', 'disasm', 'opcodes',
+    'parse_reg', 'reg_name', 'xreg', 'freg',
+    'VL_SINGLE', 'VL_GROUP', 'VL_SELF', 'VL_ALIGNED', 'VL_PREFIX',
+    'VL_SUFFIX',
+]

@@ -1,0 +1,84 @@
+"""Static decode annotations: register read/write sets per instruction.
+
+The simulator's scoreboard needs, for every instruction, which scalar and
+SIMD registers it reads and writes.  We compute these once per program (at
+``Program`` construction via :func:`annotate_program`) so the per-cycle hot
+path only walks precomputed tuples.
+"""
+
+from __future__ import annotations
+
+from . import opcodes as op
+from .instruction import Instr, X0
+
+_EMPTY = ()
+
+
+def annotate(inst: Instr) -> None:
+    """Attach ``reads``/``writes``/``vreads``/``vwrites`` tuples to ``inst``."""
+    o = inst.op
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+    reads = _EMPTY
+    writes = _EMPTY
+    vreads = _EMPTY
+    vwrites = _EMPTY
+
+    if o in (op.ADD, op.SUB, op.MUL, op.DIV, op.REM, op.AND, op.OR, op.XOR,
+             op.SLL, op.SRL, op.SLT, op.FADD, op.FSUB, op.FMUL, op.FDIV,
+             op.FMIN, op.FMAX, op.FLT, op.FLE, op.FEQ):
+        reads, writes = (rs1, rs2), (rd,)
+    elif o in (op.ADDI, op.ANDI, op.ORI, op.XORI, op.SLLI, op.SRLI, op.SLTI):
+        reads, writes = (rs1,), (rd,)
+    elif o == op.LI:
+        writes = (rd,)
+    elif o in (op.MV, op.FABS, op.FNEG, op.FSQRT, op.FCVT_WS, op.FCVT_SW):
+        reads, writes = (rs1,), (rd,)
+    elif o == op.FMA:
+        reads, writes = (rs1, rs2, rd), (rd,)
+    elif o in (op.LW, op.LWSP):
+        reads, writes = (rs1,), (rd,)
+    elif o in (op.SW, op.SWSP):
+        reads = (rs1, rs2)
+    elif o == op.SWREM:
+        reads = (rd, rs1, rs2)
+    elif o in (op.BEQ, op.BNE, op.BLT, op.BGE, op.PRED_EQ, op.PRED_NEQ):
+        reads = (rs1, rs2)
+    elif o == op.JAL:
+        writes = (rd,)
+    elif o == op.JR:
+        reads = (rs1,)
+    elif o in (op.CSRW, op.VCONFIG):
+        reads = (rs1,)
+    elif o == op.CSRR:
+        writes = (rd,)
+    elif o == op.VLOAD:
+        reads = (rs1, rs2)
+    elif o == op.FRAME_START:
+        writes = (rd,)
+    elif o == op.PRINT:
+        reads = (rs1,)
+    elif o == op.VL4:
+        reads, vwrites = (rs1,), (rd,)
+    elif o == op.VS4:
+        reads, vreads = (rs1,), (rd,)
+    elif o in (op.VADD4, op.VSUB4, op.VMUL4):
+        vreads, vwrites = (rs1, rs2), (rd,)
+    elif o == op.VFMA4:
+        vreads, vwrites = (rs1, rs2, rd), (rd,)
+    elif o == op.VBCAST:
+        reads, vwrites = (rs1,), (rd,)
+    elif o == op.VREDSUM4:
+        vreads, writes = (rs1,), (rd,)
+    elif o == op.VOTE_ANY:
+        reads, writes = (rs1,), (rd,)
+    # J, NOP, HALT, BARRIER, DEVEC, VISSUE, VEND, REMEM: no registers
+
+    inst.reads = tuple(r for r in reads if r != X0)
+    inst.writes = tuple(w for w in writes if w != X0)
+    inst.vreads = vreads
+    inst.vwrites = vwrites
+
+
+def annotate_program(instrs) -> None:
+    for inst in instrs:
+        annotate(inst)

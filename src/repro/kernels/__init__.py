@@ -1,0 +1,8 @@
+"""PolyBench/GPU kernels and the kernel code-generation layer."""
+
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import (MimdKernelBuilder, VectorKernelBuilder, VectorProgram,
+                      pack_frame_cfg)
+
+__all__ = ['Benchmark', 'VectorParams', 'Workspace', 'MimdKernelBuilder',
+           'VectorKernelBuilder', 'VectorProgram', 'pack_frame_cfg']

@@ -1,0 +1,79 @@
+"""atax: y = A^T (A x).
+
+Kernel 1 (tmp = A.x) uses the cooperative row-dot division with GROUP
+loads plus a MIMD partial-sum reduction; kernel 2 (y = A^T tmp) uses the
+paper's loop reordering so A is still streamed row-contiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_matmul_like, mimd_rowdot
+from .vector_templates import (MatTerm, emit_matmul_like, emit_rowdot,
+                               emit_rowdot_reduce)
+
+MAX_LANES = 16
+
+
+class Atax(Benchmark):
+    name = 'atax'
+    test_params = {'n': 16}
+    bench_params = {'n': 64}
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n = params['n']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, n)))
+        self.alloc_np(fabric, ws, 'x', g.random(n))
+        self.alloc_zeros(fabric, ws, 'tmp', n)
+        self.alloc_zeros(fabric, ws, 'y', n)
+        self.alloc_zeros(fabric, ws, 'p0', n * MAX_LANES)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        tmp, y = refs.atax(ws.inputs['A'], ws.inputs['x'])
+        return {'tmp': tmp, 'y': y}
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        n = params['n']
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_rowdot(
+            a, nrows=n, ncols=n, mats=[(ws.base('A'), n)],
+            vec_base=ws.base('x'), out_base=ws.base('tmp'), coeffs=[1.0],
+            cfg=fabric.cfg, prefetch=prefetch, pcv=pcv))
+        mb.add_kernel(lambda a: mimd_matmul_like(
+            a, ni=1, nj=n, nk=n,
+            terms=[MatTerm(ws.base('tmp'), 0, ws.base('A'), n)],
+            out_base=ws.base('y'), out_stride=n, cfg=fabric.cfg,
+            prefetch=prefetch, pcv=pcv, kb=min(4, n)))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        n = params['n']
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen = self.matvec_flen(fabric, vp.lanes, vp.pcv, n)
+        mflen, mpcv = self.fitted_flen(fabric, vp.lanes, vp.pcv, n, ni=1)
+        emit_rowdot(p, name='atax1', nrows=n, ncols=n,
+                    mats=[(ws.base('A'), n)], vec_base=ws.base('x'),
+                    partials_bases=[ws.base('p0')], flen=flen, pcv=vp.pcv)
+        emit_rowdot_reduce(p, nrows=n, lanes=vp.lanes,
+                           partials_bases=[ws.base('p0')], coeffs=[1.0],
+                           out_base=ws.base('tmp'))
+        emit_matmul_like(p, name='atax2', ni=1, nj=n, nk=n,
+                         terms=[MatTerm(ws.base('tmp'), 0, ws.base('A'), n)],
+                         out_base=ws.base('y'), out_stride=n,
+                         kb=min(4, n), flen=mflen, pcv=mpcv)
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        return 4 * self.flen_for(fabric, lanes, pcv) + 4

@@ -1,0 +1,211 @@
+"""Benchmark framework: each PolyBench kernel implements this interface.
+
+A :class:`Benchmark` knows how to
+
+* allocate and initialize its arrays on a fabric (``setup``),
+* compute expected outputs with numpy (``expected``),
+* build programs for each configuration family (``build_mimd`` /
+  ``build_vector``), and
+* verify fabric memory after a run (``verify``).
+
+The harness (:mod:`repro.harness`) pairs benchmarks with the Table 3
+configuration registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from .codegen import MimdKernelBuilder, VectorKernelBuilder
+
+
+@dataclass
+class VectorParams:
+    """Vector-configuration knobs (Table 3 columns)."""
+
+    lanes: int = 4
+    pcv: bool = False
+    max_groups: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return f'V{self.lanes}' + ('_PCV' if self.pcv else '')
+
+
+@dataclass
+class Workspace:
+    """Arrays a benchmark allocated on a fabric."""
+
+    bases: Dict[str, int] = field(default_factory=dict)
+    inputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def base(self, name: str) -> int:
+        return self.bases[name]
+
+
+class Benchmark:
+    """Abstract base for one PolyBench/GPU application."""
+
+    name: str = '?'
+    #: sizes used by the pytest correctness tests (small) and benches
+    test_params: Dict[str, int] = {}
+    bench_params: Dict[str, int] = {}
+
+    # -- data -----------------------------------------------------------------
+    def setup(self, fabric: Fabric, params: Dict[str, int]) -> Workspace:
+        raise NotImplementedError
+
+    def expected(self, ws: Workspace,
+                 params: Dict[str, int]) -> Dict[str, np.ndarray]:
+        """Map array name -> expected final contents (flattened order)."""
+        raise NotImplementedError
+
+    # -- programs ---------------------------------------------------------------
+    def build_mimd(self, fabric: Fabric, ws: Workspace,
+                   params: Dict[str, int], *, prefetch: bool,
+                   pcv: bool = False) -> Program:
+        raise NotImplementedError
+
+    def build_vector(self, fabric: Fabric, ws: Workspace,
+                     params: Dict[str, int], vp: VectorParams) -> Program:
+        raise NotImplementedError
+
+    # -- verification -----------------------------------------------------------
+    def verify(self, fabric: Fabric, ws: Workspace,
+               params: Dict[str, int], rtol: float = 1e-6,
+               atol: float = 1e-6) -> None:
+        for name, want in self.expected(ws, params).items():
+            flat = np.asarray(want, dtype=float).ravel()
+            got = np.array(fabric.read_array(ws.base(name), flat.size),
+                           dtype=float)
+            np.testing.assert_allclose(
+                got, flat, rtol=rtol, atol=atol,
+                err_msg=f'{self.name}: array {name!r} mismatch')
+
+    # -- helpers ----------------------------------------------------------------
+    def alloc_np(self, fabric: Fabric, ws: Workspace, name: str,
+                 data: np.ndarray) -> int:
+        base = fabric.alloc(np.asarray(data, dtype=float).ravel().tolist())
+        ws.bases[name] = base
+        ws.inputs[name] = np.asarray(data, dtype=float).copy()
+        return base
+
+    def alloc_zeros(self, fabric: Fabric, ws: Workspace, name: str,
+                    n: int) -> int:
+        base = fabric.alloc(n)
+        ws.bases[name] = base
+        return base
+
+    def params_for(self, which: str) -> Dict[str, int]:
+        return dict(self.test_params if which == 'test'
+                    else self.bench_params)
+
+    def mt_body_estimate(self, params: Dict[str, int],
+                         lanes: int) -> int:
+        """Microthread length estimate for the runahead bound."""
+        return 24
+
+    def frame_size_for(self, fabric: Fabric, lanes: int,
+                       pcv: bool) -> int:
+        """Frame words needed per lane; benchmarks override as needed."""
+        line = fabric.cfg.line_words
+        flen = self.flen_for(fabric, lanes, pcv)
+        kb = 4
+        return max(2 * kb * flen + 2 * kb, (2 + 1) * flen)
+
+    def flen_for(self, fabric: Fabric, lanes: int, pcv: bool) -> int:
+        """Output words per lane.
+
+        Defaults to spreading one cache line across the group.  Caps: the
+        scalar accumulator file limits non-SIMD kernels to 8 words, the
+        SIMD register file (8 x 4 lanes) limits PCV kernels to 16.
+        """
+        per_lane = max(1, fabric.cfg.line_words // lanes)
+        if pcv:
+            return max(fabric.cfg.simd_width, min(per_lane, 16))
+        # FLEN is a software choice, not a line-size artifact: wider
+        # per-lane frames (several line-loads per row chunk) amortize the
+        # broadcast element and the per-frame bookkeeping.  The scalar
+        # accumulator file caps it at 8.
+        return min(8, max(per_lane, 8))
+
+    def fitted_flen(self, fabric: Fabric, lanes: int, pcv: bool,
+                    ncols: int, ni: int = None, cap: int = None):
+        """Shrink the per-lane span until it divides the row width.
+
+        Returns ``(flen, use_pcv)``: when the fitted span drops below the
+        SIMD width, the kernel falls back to scalar lane bodies — for wide
+        groups on narrow matrices, per-core SIMD composed inside vector
+        groups simply does not fit (the paper finds it has negligible
+        impact anyway, Section 6.6).
+        """
+        f = self.flen_for(fabric, lanes, pcv)
+        if cap is not None and not pcv:
+            f = min(f, cap)
+        while f > 1 and ncols % (f * lanes):
+            f //= 2
+        if ncols % (f * lanes):
+            raise ValueError(f'{self.name}: width {ncols} incompatible '
+                             f'with {lanes} lanes')
+        if ni is not None and not pcv:
+            # trade span width for tile parallelism: wider lanes mean
+            # fewer tiles, and starving groups costs more than per-frame
+            # bookkeeping saves
+            ngroups = max(1, fabric.cfg.num_cores // (lanes + 1))
+
+            def candidates():
+                c = f
+                while c >= 1:
+                    if ncols % (c * lanes) == 0:
+                        yield c
+                    c //= 2
+
+            def tiles(c):
+                return ni * (ncols // (c * lanes))
+
+            chosen = None
+            for c in candidates():
+                if tiles(c) >= 2 * ngroups:
+                    chosen = c
+                    break
+            if chosen is None:
+                for c in candidates():
+                    if 3 * tiles(c) >= 2 * ngroups:
+                        chosen = c
+                        break
+            f = chosen if chosen is not None else 1
+        use_pcv = pcv and f % fabric.cfg.simd_width == 0
+        return f, use_pcv
+
+    def matvec_flen(self, fabric: Fabric, lanes: int, pcv: bool,
+                    ncols: int) -> int:
+        """Frame length per lane for matvec kernels.
+
+        Matvec frames carry several line-loads per lane (>= 4 words) so
+        frame bookkeeping amortizes even at 16 lanes; shrink only when the
+        row length cannot accommodate the span.
+        """
+        f = max(16, self.flen_for(fabric, lanes, pcv))
+        while f > 1 and ncols % (f * lanes):
+            f //= 2
+        if ncols % (f * lanes):
+            raise ValueError(f'{self.name}: ncols={ncols} incompatible '
+                             f'with {lanes} lanes')
+        return f
+
+    def make_vector_builder(self, fabric: Fabric, vp: VectorParams,
+                            params: Dict[str, int]) -> VectorKernelBuilder:
+        fs = self.frame_size_for(fabric, vp.lanes, vp.pcv)
+        # the seed value only sizes the builder's default; each vector
+        # phase reconfigures the real frame geometry (and templates shrink
+        # their spans to fit the scratchpad budget)
+        fs = min(fs, fabric.cfg.spad_words // fabric.cfg.frame_counters)
+        return VectorKernelBuilder(
+            fabric, vp.lanes, frame_size=fs, max_groups=vp.max_groups,
+            mt_body_instrs=self.mt_body_estimate(params, vp.lanes))

@@ -1,0 +1,75 @@
+"""bicg: s = A^T r ; q = A p (the BiCG kernel's two matvecs)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_matmul_like, mimd_rowdot
+from .vector_templates import (MatTerm, emit_matmul_like, emit_rowdot,
+                               emit_rowdot_reduce)
+
+MAX_LANES = 16
+
+
+class Bicg(Benchmark):
+    name = 'bicg'
+    test_params = {'n': 16}
+    bench_params = {'n': 64}
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n = params['n']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, n)))
+        self.alloc_np(fabric, ws, 'r', g.random(n))
+        self.alloc_np(fabric, ws, 'p', g.random(n))
+        self.alloc_zeros(fabric, ws, 's', n)
+        self.alloc_zeros(fabric, ws, 'q', n)
+        self.alloc_zeros(fabric, ws, 'pq', n * MAX_LANES)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        s, q = refs.bicg(ws.inputs['A'], ws.inputs['r'], ws.inputs['p'])
+        return {'s': s, 'q': q}
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        n = params['n']
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_matmul_like(
+            a, ni=1, nj=n, nk=n,
+            terms=[MatTerm(ws.base('r'), 0, ws.base('A'), n)],
+            out_base=ws.base('s'), out_stride=n, cfg=fabric.cfg,
+            prefetch=prefetch, pcv=pcv, kb=min(4, n)))
+        mb.add_kernel(lambda a: mimd_rowdot(
+            a, nrows=n, ncols=n, mats=[(ws.base('A'), n)],
+            vec_base=ws.base('p'), out_base=ws.base('q'), coeffs=[1.0],
+            cfg=fabric.cfg, prefetch=prefetch, pcv=pcv))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        n = params['n']
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen = self.matvec_flen(fabric, vp.lanes, vp.pcv, n)
+        mflen, mpcv = self.fitted_flen(fabric, vp.lanes, vp.pcv, n, ni=1)
+        emit_matmul_like(p, name='bicg_s', ni=1, nj=n, nk=n,
+                         terms=[MatTerm(ws.base('r'), 0, ws.base('A'), n)],
+                         out_base=ws.base('s'), out_stride=n,
+                         kb=min(4, n), flen=mflen, pcv=mpcv)
+        emit_rowdot(p, name='bicg_q', nrows=n, ncols=n,
+                    mats=[(ws.base('A'), n)], vec_base=ws.base('p'),
+                    partials_bases=[ws.base('pq')], flen=flen, pcv=vp.pcv)
+        emit_rowdot_reduce(p, nrows=n, lanes=vp.lanes,
+                           partials_bases=[ws.base('pq')], coeffs=[1.0],
+                           out_base=ws.base('q'))
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        return 4 * self.flen_for(fabric, lanes, pcv) + 4

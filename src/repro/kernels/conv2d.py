@@ -1,0 +1,73 @@
+"""2dconv: 3x3 convolution over an image (PolyBench/GPU coefficients).
+
+Row chunks arrive as GROUP loads; the shifted (j±1) taps use the unaligned
+vload pair.  Boundary columns/rows are masked with predication (vector) or
+branches (MIMD).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_stencil_rows
+from .vector_templates import StencilSection, emit_stencil_rows
+
+
+def conv2d_sections(base: int, stride: int):
+    sections: List[StencilSection] = []
+    coeffs: List[float] = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            sections.append(StencilSection(base, stride, di, dj))
+            coeffs.append(float(refs.C2D[di + 1, dj + 1]))
+    return sections, coeffs
+
+
+class Conv2d(Benchmark):
+    name = '2dconv'
+    test_params = {'n': 8, 'm': 16}
+    bench_params = {'n': 16, 'm': 64}
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n, m = params['n'], params['m']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, m)))
+        self.alloc_zeros(fabric, ws, 'B', n * m)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        return {'B': refs.conv2d(ws.inputs['A'])}
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        n, m = params['n'], params['m']
+        sections, coeffs = conv2d_sections(ws.base('A'), m)
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_stencil_rows(
+            a, n_out_rows=n - 2, row0=1, ncols=m, sections=sections,
+            coeffs=coeffs, out_base=ws.base('B'), out_stride=m,
+            jlo=1, jhi=m - 1, cfg=fabric.cfg, prefetch=prefetch, pcv=pcv))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        n, m = params['n'], params['m']
+        sections, coeffs = conv2d_sections(ws.base('A'), m)
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen, _ = self.fitted_flen(fabric, vp.lanes, vp.pcv, m, ni=n - 2,
+                                   cap=4)
+        emit_stencil_rows(
+            p, name='conv2d', n_out_rows=n - 2, row0=1, ncols=m,
+            sections=sections, coeffs=coeffs, out_base=ws.base('B'),
+            out_stride=m, jlo=1, jhi=m - 1, flen=flen)
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        return 9 * self.flen_for(fabric, lanes, pcv)

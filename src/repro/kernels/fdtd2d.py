@@ -1,0 +1,110 @@
+"""fdtd-2d: finite-difference time-domain over tmax timesteps.
+
+Each timestep runs four kernels separated by global barriers: the fict
+boundary row, the ey and ex half-steps, and the hz update.  The ex kernel's
+j-1 tap exercises the unaligned vload pair; the time loop is a run-time
+loop around re-formed vector groups (the paper forms groups per kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import _strided_tiles, mimd_stencil_rows
+from .vector_templates import StencilSection, emit_stencil_rows
+
+
+class Fdtd2d(Benchmark):
+    name = 'fdtd-2d'
+    test_params = {'n': 8, 'm': 16, 'tmax': 2}
+    bench_params = {'n': 16, 'm': 64, 'tmax': 3}
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n, m, tmax = params['n'], params['m'], params['tmax']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'ex', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'ey', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'hz', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'fict', g.random(tmax))
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        ex, ey, hz = refs.fdtd2d(ws.inputs['ex'], ws.inputs['ey'],
+                                 ws.inputs['hz'], ws.inputs['fict'],
+                                 params['tmax'])
+        return {'ex': ex, 'ey': ey, 'hz': hz}
+
+    # -- kernel descriptions shared by MIMD and vector builds -----------------
+    def _stencils(self, ws, params):
+        n, m = params['n'], params['m']
+        ex, ey, hz = ws.base('ex'), ws.base('ey'), ws.base('hz')
+        return [
+            dict(name='ey', n_out_rows=n - 1, row0=1, ncols=m,
+                 sections=[StencilSection(hz, m, 0, 0),
+                           StencilSection(hz, m, -1, 0)],
+                 coeffs=[-0.5, 0.5], out_base=ey, out_stride=m,
+                 jlo=0, jhi=m, out_coeff_old=1.0),
+            dict(name='ex', n_out_rows=n, row0=0, ncols=m,
+                 sections=[StencilSection(hz, m, 0, 0),
+                           StencilSection(hz, m, 0, -1)],
+                 coeffs=[-0.5, 0.5], out_base=ex, out_stride=m,
+                 jlo=1, jhi=m, out_coeff_old=1.0),
+            dict(name='hz', n_out_rows=n - 1, row0=0, ncols=m,
+                 sections=[StencilSection(ex, m, 0, 1),
+                           StencilSection(ex, m, 0, 0),
+                           StencilSection(ey, m, 1, 0),
+                           StencilSection(ey, m, 0, 0)],
+                 coeffs=[-0.7, 0.7, -0.7, 0.7], out_base=hz, out_stride=m,
+                 jlo=0, jhi=m - 1, out_coeff_old=1.0),
+        ]
+
+    def _fict_kernel(self, ws, params):
+        m = params['m']
+        fict, ey = ws.base('fict'), ws.base('ey')
+
+        def body(a):
+            # ey[0][j] = fict[t] for all j (t in x19)
+            a.li('x5', fict)
+            a.add('x5', 'x5', 'x19')
+            a.lw('f1', 'x5', 0)
+            with _strided_tiles(a, m):
+                a.li('x6', ey)
+                a.add('x6', 'x6', 'x3')
+                a.sw('f1', 'x6', 0)
+
+        return body
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        mb = MimdKernelBuilder()
+        with mb.loop(params['tmax']):
+            mb.add_kernel(self._fict_kernel(ws, params))
+            for st in self._stencils(ws, params):
+                st = dict(st)
+                st.pop('name')
+                mb.add_kernel(lambda a, st=st: mimd_stencil_rows(
+                    a, **st, cfg=fabric.cfg, prefetch=prefetch, pcv=pcv))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen, _ = self.fitted_flen(fabric, vp.lanes, vp.pcv,
+                                   params['m'], ni=params['n'], cap=4)
+        with p.loop(params['tmax']):
+            p.mimd_phase(self._fict_kernel(ws, params))
+            for st in self._stencils(ws, params):
+                st = dict(st)
+                st['name'] = 'fdtd_' + st['name']
+                emit_stencil_rows(p, **st, flen=flen)
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        return 5 * self.flen_for(fabric, lanes, pcv)

@@ -1,0 +1,81 @@
+"""gemm: C = alpha*A.B + beta*C (paper Table 2, 256x256 inputs).
+
+Algorithm opt (paper): tiled outer product; each lane owns FLEN columns of
+an output row and the scalar core streams rows of B with GROUP loads while
+broadcasting A[i][k] chunks with SINGLE loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_matmul_like
+from .vector_templates import MatTerm, emit_matmul_like
+
+ALPHA = 1.5
+BETA = 1.2
+
+
+class Gemm(Benchmark):
+    name = 'gemm'
+    test_params = {'ni': 8, 'nj': 16, 'nk': 8}
+    bench_params = {'ni': 32, 'nj': 32, 'nk': 24}
+
+    def setup(self, fabric: Fabric, params: Dict[str, int]) -> Workspace:
+        ni, nj, nk = params['ni'], params['nj'], params['nk']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((ni, nk)))
+        self.alloc_np(fabric, ws, 'B', g.random((nk, nj)))
+        self.alloc_np(fabric, ws, 'C', g.random((ni, nj)))
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        c = refs.gemm(ws.inputs['A'], ws.inputs['B'], ws.inputs['C'],
+                      ALPHA, BETA)
+        return {'C': c}
+
+    def _terms(self, ws: Workspace, params):
+        nj, nk = params['nj'], params['nk']
+        return [MatTerm(bcast_base=ws.base('A'), bcast_stride=nk,
+                        group_base=ws.base('B'), group_stride=nj)]
+
+    def build_mimd(self, fabric: Fabric, ws: Workspace, params, *,
+                   prefetch: bool, pcv: bool = False) -> Program:
+        ni, nj, nk = params['ni'], params['nj'], params['nk']
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_matmul_like(
+            a, ni=ni, nj=nj, nk=nk, terms=self._terms(ws, params),
+            out_base=ws.base('C'), out_stride=nj, alpha=ALPHA, beta=BETA,
+            cfg=fabric.cfg, prefetch=prefetch, pcv=pcv,
+            kb=min(4, nk)))
+        return mb.build()
+
+    def build_vector(self, fabric: Fabric, ws: Workspace, params,
+                     vp: VectorParams) -> Program:
+        ni, nj, nk = params['ni'], params['nj'], params['nk']
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen, pcv = self.fitted_flen(fabric, vp.lanes, vp.pcv, nj, ni=ni)
+        emit_matmul_like(
+            p, name='gemm', ni=ni, nj=nj, nk=nk,
+            terms=self._terms(ws, params), out_base=ws.base('C'),
+            out_stride=nj, alpha=ALPHA, beta=BETA, kb=min(4, nk),
+            flen=flen, pcv=pcv)
+        return p.finish()
+
+    def frame_size_for(self, fabric: Fabric, lanes: int, pcv: bool) -> int:
+        flen = self.flen_for(fabric, lanes, pcv)
+        kb = 4
+        return kb * flen + kb
+
+    def mt_body_estimate(self, params, lanes: int) -> int:
+        flen = 16 // lanes if lanes <= 16 else 1
+        return 4 * (1 + 2 * flen) + 3

@@ -1,0 +1,72 @@
+"""gesummv: y = alpha*A.x + beta*B.x — two fused matvecs per row."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_rowdot
+from .vector_templates import emit_rowdot, emit_rowdot_reduce
+
+ALPHA = 1.5
+BETA = 1.2
+MAX_LANES = 16
+
+
+class Gesummv(Benchmark):
+    name = 'gesummv'
+    test_params = {'n': 16}
+    bench_params = {'n': 64}
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n = params['n']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, n)))
+        self.alloc_np(fabric, ws, 'B', g.random((n, n)))
+        self.alloc_np(fabric, ws, 'x', g.random(n))
+        self.alloc_zeros(fabric, ws, 'y', n)
+        self.alloc_zeros(fabric, ws, 'pA', n * MAX_LANES)
+        self.alloc_zeros(fabric, ws, 'pB', n * MAX_LANES)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        y = refs.gesummv(ws.inputs['A'], ws.inputs['B'], ws.inputs['x'],
+                         ALPHA, BETA)
+        return {'y': y}
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        n = params['n']
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_rowdot(
+            a, nrows=n, ncols=n,
+            mats=[(ws.base('A'), n), (ws.base('B'), n)],
+            vec_base=ws.base('x'), out_base=ws.base('y'),
+            coeffs=[ALPHA, BETA], cfg=fabric.cfg, prefetch=prefetch,
+            pcv=pcv))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        n = params['n']
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        flen = self.matvec_flen(fabric, vp.lanes, vp.pcv, n)
+        emit_rowdot(p, name='gesummv', nrows=n, ncols=n,
+                    mats=[(ws.base('A'), n), (ws.base('B'), n)],
+                    vec_base=ws.base('x'),
+                    partials_bases=[ws.base('pA'), ws.base('pB')],
+                    flen=flen, pcv=vp.pcv)
+        emit_rowdot_reduce(p, nrows=n, lanes=vp.lanes,
+                           partials_bases=[ws.base('pA'), ws.base('pB')],
+                           coeffs=[ALPHA, BETA], out_base=ws.base('y'))
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        # three GROUP sections per frame: A chunk, B chunk, x chunk
+        return 3 * self.flen_for(fabric, lanes, pcv)

@@ -1,0 +1,186 @@
+"""Numpy reference implementations of the PolyBench/GPU kernels (+ bfs).
+
+These define the *semantics* each simulated kernel must reproduce; every
+benchmark's correctness test compares simulator memory against these, the
+way the paper checks against serial versions (Section 6.1).
+
+Conventions follow PolyBench/GPU: matrices are row-major, convolution
+coefficients are the suite's constants.  Deviations (documented in
+DESIGN.md) are: 3dconv uses a full 27-tap stencil built from the 2D
+coefficient set, and input data comes from a seeded RNG instead of the
+suite's index-based initializers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# PolyBench/GPU 2D convolution coefficients
+C2D = np.array([[+0.2, -0.3, +0.4],
+                [+0.5, +0.6, +0.7],
+                [-0.8, -0.9, +0.1]])
+
+# plane weights for our 27-tap 3D variant
+PLANE3D = np.array([0.5, 1.0, 0.25])
+
+
+def rng(name: str) -> np.random.Generator:
+    """Deterministic per-benchmark input generator."""
+    seed = abs(hash(name)) % (2 ** 31)
+    return np.random.default_rng(seed)
+
+
+def conv2d(a: np.ndarray) -> np.ndarray:
+    n, m = a.shape
+    out = np.zeros_like(a)
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            out[1:n - 1, 1:m - 1] += (C2D[di + 1, dj + 1] *
+                                      a[1 + di:n - 1 + di,
+                                        1 + dj:m - 1 + dj])
+    return out
+
+
+def conv3d(a: np.ndarray) -> np.ndarray:
+    p, n, m = a.shape
+    out = np.zeros_like(a)
+    for dk in (-1, 0, 1):
+        w = PLANE3D[dk + 1]
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                out[1:p - 1, 1:n - 1, 1:m - 1] += (
+                    w * C2D[di + 1, dj + 1] *
+                    a[1 + dk:p - 1 + dk, 1 + di:n - 1 + di,
+                      1 + dj:m - 1 + dj])
+    return out
+
+
+def mm2(a, b, c):
+    """2mm: tmp = A.B ; out = tmp.C"""
+    tmp = a @ b
+    return tmp, tmp @ c
+
+
+def mm3(a, b, c, d):
+    """3mm: E = A.B ; F = C.D ; G = E.F"""
+    e = a @ b
+    f = c @ d
+    return e, f, e @ f
+
+
+def atax(a, x):
+    tmp = a @ x
+    return tmp, a.T @ tmp
+
+
+def bicg(a, r, p):
+    return a.T @ r, a @ p
+
+
+def correlation(data: np.ndarray):
+    m, n = data.shape
+    mean = data.mean(axis=0)
+    std = data.std(axis=0)
+    std = np.where(std <= 0.1, 1.0, std)
+    d = (data - mean) / (np.sqrt(float(m)) * std)
+    corr = d.T @ d
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def covariance(data: np.ndarray):
+    mean = data.mean(axis=0)
+    d = data - mean
+    return d.T @ d
+
+
+def fdtd2d(ex, ey, hz, fict, tmax: int):
+    ex, ey, hz = ex.copy(), ey.copy(), hz.copy()
+    n, m = hz.shape
+    for t in range(tmax):
+        ey[0, :] = fict[t]
+        ey[1:, :] -= 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] -= 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:n - 1, :m - 1] -= 0.7 * (ex[:n - 1, 1:m] - ex[:n - 1, :m - 1] +
+                                     ey[1:n, :m - 1] - ey[:n - 1, :m - 1])
+    return ex, ey, hz
+
+
+def gemm(a, b, c, alpha=1.5, beta=1.2):
+    return alpha * (a @ b) + beta * c
+
+
+def gesummv(a, b, x, alpha=1.5, beta=1.2):
+    return alpha * (a @ x) + beta * (b @ x)
+
+
+def gramschmidt(a: np.ndarray):
+    """Classic Gram-Schmidt; returns (Q, R, A') with A' fully orthogonalized."""
+    a = a.copy()
+    m, n = a.shape
+    q = np.zeros_like(a)
+    r = np.zeros((n, n))
+    for k in range(n):
+        nrm = float(np.sqrt(np.sum(a[:, k] * a[:, k])))
+        r[k, k] = nrm
+        q[:, k] = a[:, k] / nrm
+        for j in range(k + 1, n):
+            r[k, j] = float(q[:, k] @ a[:, j])
+            a[:, j] -= q[:, k] * r[k, j]
+    return q, r, a
+
+
+def mvt(a, x1, x2, y1, y2):
+    return x1 + a @ y1, x2 + a.T @ y2
+
+
+def syrk(a, c, alpha=1.5, beta=1.2):
+    return beta * c + alpha * (a @ a.T)
+
+
+def syr2k(a, b, c, alpha=1.5, beta=1.2):
+    return beta * c + alpha * (a @ b.T + b @ a.T)
+
+
+# ------------------------------------------------------------------------- bfs
+def synthetic_graph(num_vertices: int, avg_degree: int = 4, seed: int = 7):
+    """A deterministic sparse digraph in CSR form, connected from vertex 0.
+
+    Returns ``(row_ptr, col_idx)`` as int lists.  A ring backbone guarantees
+    reachability; random extra edges create the irregular degree spread that
+    makes bfs hostile to lockstep execution.
+    """
+    g = np.random.default_rng(seed)
+    adj = [set() for _ in range(num_vertices)]
+    for v in range(num_vertices):
+        adj[v].add((v + 1) % num_vertices)
+        extra = int(g.integers(0, max(1, 2 * avg_degree - 1)))
+        for _ in range(extra):
+            w = int(g.integers(0, num_vertices))
+            if w != v:
+                adj[v].add(w)
+    row_ptr = [0]
+    col_idx = []
+    for v in range(num_vertices):
+        col_idx.extend(sorted(adj[v]))
+        row_ptr.append(len(col_idx))
+    return row_ptr, col_idx
+
+
+def bfs_depths(row_ptr, col_idx, source: int = 0):
+    n = len(row_ptr) - 1
+    depth = [-1] * n
+    depth[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for e in range(row_ptr[v], row_ptr[v + 1]):
+                w = col_idx[e]
+                if depth[w] < 0:
+                    depth[w] = level + 1
+                    nxt.append(w)
+        frontier = nxt
+        level += 1
+    return depth

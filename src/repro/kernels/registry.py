@@ -1,0 +1,44 @@
+"""The benchmark suite registry (paper Table 2, plus bfs from Section 6.6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .atax import Atax
+from .base import Benchmark
+from .bfs import Bfs
+from .bicg import Bicg
+from .conv2d import Conv2d
+from .conv3d import Conv3d
+from .correlation import Corr, Covar
+from .fdtd2d import Fdtd2d
+from .gemm import Gemm
+from .gesummv import Gesummv
+from .gramschm import Gramschm
+from .mm2 import Mm2
+from .mm3 import Mm3
+from .mvt import Mvt
+from .syr2k import Syr2k
+from .syrk import Syrk
+
+#: All 15 PolyBench/GPU applications, in the paper's figure order.
+POLYBENCH: List[Type[Benchmark]] = [
+    Conv2d, Mm2, Conv3d, Mm3, Atax, Bicg, Corr, Covar, Fdtd2d, Gemm,
+    Gesummv, Gramschm, Mvt, Syr2k, Syrk,
+]
+
+#: The irregular counter-example (Section 6.6).
+IRREGULAR: List[Type[Benchmark]] = [Bfs]
+
+ALL: List[Type[Benchmark]] = POLYBENCH + IRREGULAR
+
+BY_NAME: Dict[str, Type[Benchmark]] = {cls.name: cls for cls in ALL}
+
+#: Benchmarks the paper modified to exploit longer cache lines (Section 6.6,
+#: "Long cache lines").
+LONG_LINE_SET = ['2dconv', 'fdtd-2d', 'gesummv', 'syr2k', 'syrk']
+
+
+def make(name: str) -> Benchmark:
+    """Instantiate a benchmark by its paper name."""
+    return BY_NAME[name]()

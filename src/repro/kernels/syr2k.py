@@ -1,0 +1,83 @@
+"""syr2k: symmetric rank-2K update, C = beta*C + alpha*(A.B^T + B.A^T).
+
+Two product terms per output element; both transposes are materialized by
+a MIMD pre-kernel (paper's transpose memory optimization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_matmul_like, mimd_transpose
+from .vector_templates import MatTerm, emit_matmul_like
+
+ALPHA = 1.5
+BETA = 1.2
+
+
+class Syr2k(Benchmark):
+    name = 'syr2k'
+    test_params = {'n': 16, 'm': 8}
+    bench_params = {'n': 64, 'm': 12}  # n % 64 == 0 for long lines
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n, m = params['n'], params['m']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'B', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'C', g.random((n, n)))
+        self.alloc_zeros(fabric, ws, 'AT', m * n)
+        self.alloc_zeros(fabric, ws, 'BT', m * n)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        c = refs.syr2k(ws.inputs['A'], ws.inputs['B'], ws.inputs['C'],
+                       ALPHA, BETA)
+        return {'C': c}
+
+    def _main(self, ws, params):
+        n, m = params['n'], params['m']
+        return dict(ni=n, nj=n, nk=m,
+                    terms=[MatTerm(ws.base('A'), m, ws.base('BT'), n),
+                           MatTerm(ws.base('B'), m, ws.base('AT'), n)],
+                    out_base=ws.base('C'), out_stride=n,
+                    alpha=ALPHA, beta=BETA)
+
+    def _transposes(self, ws, params):
+        n, m = params['n'], params['m']
+        return [dict(src=ws.base('A'), dst=ws.base('AT'), n=n, m=m),
+                dict(src=ws.base('B'), dst=ws.base('BT'), n=n, m=m)]
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        mb = MimdKernelBuilder()
+        for tr in self._transposes(ws, params):
+            mb.add_kernel(lambda a, tr=tr: mimd_transpose(a, **tr))
+        st = self._main(ws, params)
+        mb.add_kernel(lambda a: mimd_matmul_like(
+            a, **st, cfg=fabric.cfg, prefetch=prefetch, pcv=pcv,
+            kb=min(4, st['nk'])))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        for tr in self._transposes(ws, params):
+            p.mimd_phase(lambda a, tr=tr: mimd_transpose(a, **tr))
+        st = self._main(ws, params)
+        flen, pcv = self.fitted_flen(fabric, vp.lanes, vp.pcv, st['nj'],
+                                     ni=st['ni'])
+        emit_matmul_like(p, name='syr2k', **st, kb=min(4, st['nk']),
+                         flen=flen, pcv=pcv)
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        # two terms: 2*(kb*flen) group words + 2*kb broadcast words
+        return 2 * 4 * self.flen_for(fabric, lanes, pcv) + 2 * 4

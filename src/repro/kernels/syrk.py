@@ -1,0 +1,74 @@
+"""syrk: symmetric rank-K update, C = beta*C + alpha*A.A^T.
+
+Memory opt (paper Table 2): transpose — a MIMD pre-kernel materializes A^T
+so the main kernel streams the group operand row-contiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Program
+from ..manycore import Fabric
+from . import refs
+from .base import Benchmark, VectorParams, Workspace
+from .codegen import MimdKernelBuilder
+from .mimd_templates import mimd_matmul_like, mimd_transpose
+from .vector_templates import MatTerm, emit_matmul_like
+
+ALPHA = 1.5
+BETA = 1.2
+
+
+class Syrk(Benchmark):
+    name = 'syrk'
+    test_params = {'n': 16, 'm': 8}
+    bench_params = {'n': 64, 'm': 16}  # n % 64 == 0 for long lines
+
+    def setup(self, fabric: Fabric, params) -> Workspace:
+        n, m = params['n'], params['m']
+        g = refs.rng(self.name)
+        ws = Workspace()
+        self.alloc_np(fabric, ws, 'A', g.random((n, m)))
+        self.alloc_np(fabric, ws, 'C', g.random((n, n)))
+        self.alloc_zeros(fabric, ws, 'AT', m * n)
+        return ws
+
+    def expected(self, ws: Workspace, params) -> Dict[str, np.ndarray]:
+        return {'C': refs.syrk(ws.inputs['A'], ws.inputs['C'], ALPHA, BETA)}
+
+    def _main(self, ws, params):
+        n, m = params['n'], params['m']
+        return dict(ni=n, nj=n, nk=m,
+                    terms=[MatTerm(ws.base('A'), m, ws.base('AT'), n)],
+                    out_base=ws.base('C'), out_stride=n,
+                    alpha=ALPHA, beta=BETA)
+
+    def build_mimd(self, fabric, ws, params, *, prefetch, pcv=False):
+        n, m = params['n'], params['m']
+        mb = MimdKernelBuilder()
+        mb.add_kernel(lambda a: mimd_transpose(
+            a, src=ws.base('A'), dst=ws.base('AT'), n=n, m=m))
+        st = self._main(ws, params)
+        mb.add_kernel(lambda a: mimd_matmul_like(
+            a, **st, cfg=fabric.cfg, prefetch=prefetch, pcv=pcv,
+            kb=min(4, st['nk'])))
+        return mb.build()
+
+    def build_vector(self, fabric, ws, params, vp: VectorParams) -> Program:
+        n, m = params['n'], params['m']
+        b = self.make_vector_builder(fabric, vp, params)
+        p = b.program()
+        p.mimd_phase(lambda a: mimd_transpose(
+            a, src=ws.base('A'), dst=ws.base('AT'), n=n, m=m))
+        st = self._main(ws, params)
+        flen, pcv = self.fitted_flen(fabric, vp.lanes, vp.pcv, st['nj'],
+                                     ni=st['ni'])
+        emit_matmul_like(p, name='syrk', **st, kb=min(4, st['nk']),
+                         flen=flen, pcv=pcv)
+        return p.finish()
+
+    def frame_size_for(self, fabric, lanes, pcv):
+        return 4 * self.flen_for(fabric, lanes, pcv) + 4

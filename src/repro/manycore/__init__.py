@@ -1,0 +1,11 @@
+"""The baseline tiled manycore substrate (paper Section 3.1)."""
+
+from .config import DEFAULT_CONFIG, MachineConfig, small_config
+from .fabric import DeadlockError, Fabric, SimulationTimeout
+from .stats import CoreStats, MemStats, RunStats
+from .tile import SimError, Tile
+from .trace import TraceEntry, Tracer
+
+__all__ = ['Fabric', 'MachineConfig', 'DEFAULT_CONFIG', 'small_config',
+           'RunStats', 'CoreStats', 'MemStats', 'Tile', 'SimError',
+           'DeadlockError', 'SimulationTimeout', 'Tracer', 'TraceEntry']

@@ -1,0 +1,44 @@
+"""Fixed-latency, fixed-bandwidth DRAM model (paper Section 5.1).
+
+All LLC banks share one DRAM channel pool with an aggregate bandwidth of
+``dram_bandwidth_words_per_cycle`` (4 words/cycle = 16 GB/s at 1 GHz) and a
+fixed access latency (60 cycles).  Bandwidth is modeled as channel busy
+time: each line transfer occupies ``line_words / bandwidth`` cycles, and
+transfers serialize when the channel is saturated — which is exactly the
+bottleneck the paper's scalability study (Figures 11-13) exercises.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Dram:
+    """Shared DRAM behind the LLC banks."""
+
+    def __init__(self, latency: int, bandwidth_words_per_cycle: float,
+                 line_words: int, stats):
+        self.latency = latency
+        self.bandwidth = bandwidth_words_per_cycle
+        self.line_words = line_words
+        self.stats = stats
+        self._next_free = 0.0
+
+    @property
+    def transfer_cycles(self) -> float:
+        return self.line_words / self.bandwidth
+
+    def read_line(self, now: int, fabric, on_filled) -> int:
+        """Schedule a line fill; returns the completion cycle."""
+        start = max(float(now), self._next_free)
+        self._next_free = start + self.transfer_cycles
+        done = int(math.ceil(start + self.latency + self.transfer_cycles))
+        self.stats.dram_lines_read += 1
+        fabric.post(done, on_filled)
+        return done
+
+    def write_line(self, now: int) -> None:
+        """Account for a write-back; consumes bandwidth, nothing waits."""
+        start = max(float(now), self._next_free)
+        self._next_free = start + self.transfer_cycles
+        self.stats.dram_lines_written += 1

@@ -1,0 +1,263 @@
+"""The manycore fabric: tiles + NoC + LLC banks + DRAM + the event loop.
+
+Simulation is cycle-stepped but event-assisted: tiles report the next cycle
+at which they can make progress, memory completions are scheduled on an
+event heap, and the clock jumps straight to the earliest interesting time.
+This keeps pure-Python simulation fast through long memory stalls while
+preserving cycle-granular interleaving where it matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from ..core.vgroup import (GroupDescriptor, ROLE_EXPANDER, ROLE_SCALAR,
+                           ROLE_VECTOR)
+from ..isa.assembler import Program
+from .config import DEFAULT_CONFIG, MachineConfig
+from .dram import Dram
+from .llc import KIND_STORE, LLCBank, MemRequest
+from .noc import NocModel
+from .stats import RunStats
+from .tile import INF, RUN, Tile, WAIT_BARRIER
+
+_MAX_DEFAULT = 200_000_000
+
+
+class DeadlockError(Exception):
+    """No tile can make progress and no events are pending."""
+
+
+class SimulationTimeout(Exception):
+    """The run exceeded its cycle budget."""
+
+
+class Fabric:
+    """A W x H tiled machine with shared LLC banks and DRAM."""
+
+    def __init__(self, cfg: MachineConfig = DEFAULT_CONFIG):
+        self.cfg = cfg
+        self.run_stats = RunStats()
+        self.noc = NocModel(cfg.mesh_width, cfg.mesh_height, cfg.llc_banks,
+                            cfg.router_hop_latency)
+        self.dram = Dram(cfg.dram_latency,
+                         cfg.dram_bandwidth_words_per_cycle,
+                         cfg.line_words, self.run_stats.mem)
+        self.banks = [LLCBank(b, self, cfg, self.run_stats.mem)
+                      for b in range(cfg.llc_banks)]
+        self.tiles = [Tile(i, self, cfg) for i in range(cfg.num_cores)]
+        self.run_stats.cores = {t.core_id: t.stats for t in self.tiles}
+
+        self.memory: List = []
+        self._alloc_ptr = 0
+        self.cycle = 0
+        self._heap: list = []
+        self._seq = 0
+        self.group_descs: Dict[int, GroupDescriptor] = {}
+        self.num_groups = 0
+        self._active: List[Tile] = []
+        self._halted_dirty = False
+        self.trace = None  # optional Tracer (see manycore.trace)
+
+    # ------------------------------------------------------------- memory setup
+    def alloc(self, data_or_size, fill=0.0) -> int:
+        """Allocate a line-aligned global array; returns its word address.
+
+        Line 0 is reserved as a guard so that one-word-shifted (unaligned)
+        stencil loads never index below zero.
+        """
+        lw = self.cfg.line_words
+        base = ((max(len(self.memory), lw) + lw - 1) // lw) * lw
+        if isinstance(data_or_size, int):
+            values = [fill] * data_or_size
+        else:
+            values = [float(v) for v in data_or_size]
+        self.memory.extend([0.0] * (base - len(self.memory)))
+        self.memory.extend(values)
+        # pad to a line boundary plus one trailing guard line, so shifted
+        # (unaligned) loads one word past an array stay in bounds
+        pad = (lw - len(self.memory) % lw) % lw + lw
+        self.memory.extend([0.0] * pad)
+        return base
+
+    def read_array(self, base: int, n: int) -> List:
+        return self.memory[base:base + n]
+
+    # ------------------------------------------------------------- group setup
+    def register_group(self, desc: GroupDescriptor) -> int:
+        """Register a vector-group descriptor; returns its vconfig handle."""
+        handle = len(self.group_descs)
+        self.group_descs[handle] = desc
+        self.num_groups = len(self.group_descs)
+        return handle
+
+    # ----------------------------------------------------------------- events
+    def post(self, time: int, fn) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def wake_tile(self, tile: Tile, time: int) -> None:
+        t = max(time, self.cycle)
+        if t < tile.next_wake:
+            tile.next_wake = t
+
+    def count_hops(self, word_hops: int) -> None:
+        self.run_stats.noc_word_hops += word_hops
+
+    # ------------------------------------------------------------ memory traffic
+    def send_to_bank(self, req: MemRequest, now: int) -> None:
+        bank_id = (req.addr // self.cfg.line_words) % self.cfg.llc_banks
+        hops = self.noc.bank_hops(req.core, bank_id)
+        self.count_hops(hops)
+        arrive = now + self.noc.bank_delay(req.core, bank_id)
+        self.banks[bank_id].access(req, arrive)
+
+    def send_store(self, core: int, addr: int, value, now: int) -> None:
+        req = MemRequest(KIND_STORE, addr, 1, core, value=value)
+        self.send_to_bank(req, now)
+
+    def send_remote_store(self, src: int, dest: int, offset: int, value,
+                          now: int) -> None:
+        delay = self.noc.core_delay(src, dest)
+        self.count_hops(delay - 1)
+        self.post(now + delay,
+                  lambda at, d=dest, o=offset, v=value:
+                  self.spad_deliver(d, o, [v], False))
+
+    def spad_deliver(self, core: int, offset: int, values: Sequence,
+                     is_frame: bool) -> None:
+        tile = self.tiles[core]
+        tile.spad.deliver(offset, values, is_frame)
+        self.wake_tile(tile, self.cycle)
+
+    # --------------------------------------------------------------- formation
+    def vconfig_arrive(self, tile: Tile, handle: int, now: int) -> None:
+        desc = self.group_descs.get(handle)
+        if desc is None:
+            raise DeadlockError(f'vconfig with unknown handle {handle}')
+        if tile.core_id not in desc.tiles:
+            raise DeadlockError(
+                f'core {tile.core_id} ran vconfig for group '
+                f'{desc.group_id} it does not belong to')
+        from .tile import WAIT_VCONFIG
+        tile.state = WAIT_VCONFIG
+        desc._arrived.add(tile.core_id)
+        if len(desc._arrived) == len(desc.tiles):
+            desc._arrived.clear()
+            self._form_group(desc, now)
+
+    def _form_group(self, desc: GroupDescriptor, now: int) -> None:
+        for i, cid in enumerate(desc.tiles):
+            t = self.tiles[cid]
+            t.group = desc
+            if i == 0:
+                t.mode = ROLE_SCALAR
+                t.lane_idx = -1
+            elif i == 1:
+                t.mode = ROLE_EXPANDER
+                t.lane_idx = 0
+            else:
+                t.mode = ROLE_VECTOR
+                t.lane_idx = i - 1
+            nxt = desc.successor(cid)
+            t.successor = self.tiles[nxt] if nxt != -1 else None
+            t.group_id_csr = desc.group_id
+            t.ngroups_csr = self.num_groups
+            t.state = RUN
+            t.in_mt = False
+            t.pred = True
+            t._ready_at = now + 1
+            self.wake_tile(t, now + 1)
+
+    # ----------------------------------------------------------------- barrier
+    def barrier_arrive(self, tile: Tile, now: int) -> None:
+        tile.state = WAIT_BARRIER
+        self._check_barrier(now)
+
+    def on_halt(self, tile: Tile, now: int) -> None:
+        self._halted_dirty = True
+        tile.next_wake = INF
+        self._check_barrier(now)
+
+    def _check_barrier(self, now: int) -> None:
+        waiting = [t for t in self._active if not t.halted]
+        if not waiting:
+            return
+        if not all(t.state == WAIT_BARRIER for t in waiting):
+            return
+        # The barrier is also a memory fence: in-flight non-blocking stores
+        # and fills must land before dependent kernels start (the paper's
+        # kernels are separated by a global barrier, Section 6.1).
+        if self._heap:
+            recheck = max(t for t, _, _ in self._heap) + 1
+            self.post(recheck, self._check_barrier)
+            return
+        for t in waiting:
+            t.state = RUN
+            t._ready_at = now + 1
+            self.wake_tile(t, now + 1)
+
+    # --------------------------------------------------------------------- run
+    def load_program(self, program: Program,
+                     active_cores: Optional[Sequence[int]] = None) -> None:
+        if active_cores is None:
+            active_cores = range(self.cfg.num_cores)
+        active = list(active_cores)
+        ranks = {cid: i for i, cid in enumerate(active)}
+        self._active = []
+        for t in self.tiles:
+            if t.core_id in ranks:
+                t.reset_for_run(program, 0, ranks[t.core_id], len(active))
+                self._active.append(t)
+            else:
+                t.halted = True
+                t.next_wake = INF
+
+    def run(self, max_cycles: int = _MAX_DEFAULT) -> RunStats:
+        heap = self._heap
+        active = [t for t in self._active if not t.halted]
+        while active:
+            now = min(t.next_wake for t in active)
+            if heap and heap[0][0] < now:
+                now = heap[0][0]
+            if now >= INF:
+                if heap:
+                    now = heap[0][0]
+                else:
+                    self._deadlock()
+            if now > max_cycles:
+                raise SimulationTimeout(
+                    f'exceeded {max_cycles} cycles at cycle {self.cycle}')
+            self.cycle = now
+            while heap and heap[0][0] <= now:
+                _, _, fn = heapq.heappop(heap)
+                fn(now)
+            for t in active:
+                if t.next_wake <= now and not t.halted:
+                    nw = t.step(now)
+                    t.next_wake = nw if nw > now else now + 1
+            if self._halted_dirty:
+                active = [t for t in active if not t.halted]
+                self._halted_dirty = False
+        self._drain()
+        self.run_stats.cycles = self.cycle
+        for t in self.tiles:
+            t.stats.cycles = self.cycle
+        return self.run_stats
+
+    def _drain(self) -> None:
+        """Flush in-flight memory events so final memory state is visible."""
+        heap = self._heap
+        while heap:
+            time, _, fn = heapq.heappop(heap)
+            self.cycle = max(self.cycle, time)
+            fn(self.cycle)
+
+    def _deadlock(self) -> None:
+        lines = ['deadlock: no runnable tile and no pending events']
+        for t in self._active:
+            if not t.halted:
+                lines.append(f'  {t!r} stall={t._stall_cause} '
+                             f'inet={len(t.inet_in)} lq={t.lq_count}')
+        raise DeadlockError('\n'.join(lines))

@@ -1,0 +1,46 @@
+"""Per-tile instruction cache model (4 kB, 2-way in the paper).
+
+The energy story of the paper hinges on *counting* I-cache accesses (one per
+fetched instruction) and eliding them for non-expander vector cores, so the
+access counter is the load-bearing part.  Misses are modeled with a fixed
+refill penalty; with 4 kB caches and loop-dominated kernels they vanish
+after warm-up, matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+INSTR_BYTES = 4
+MISS_PENALTY = 20
+
+
+class ICache:
+    """A tiny set-associative tag array over instruction addresses (= PCs)."""
+
+    def __init__(self, capacity_bytes: int, ways: int, line_bytes: int,
+                 stats):
+        self.instrs_per_line = line_bytes // INSTR_BYTES
+        num_lines = max(1, capacity_bytes // line_bytes)
+        self.num_sets = max(1, num_lines // ways)
+        self.ways = ways
+        self.stats = stats
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def fetch(self, pc: int) -> int:
+        """Access the cache for PC; returns extra stall cycles (0 on hit)."""
+        self.accesses += 1
+        self.stats.icache_accesses += 1
+        line = pc // self.instrs_per_line
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            s.remove(line)
+            s.insert(0, line)
+            return 0
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.pop()
+        s.insert(0, line)
+        return MISS_PENALTY

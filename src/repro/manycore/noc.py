@@ -1,0 +1,74 @@
+"""Mesh network-on-chip geometry and latency model.
+
+The paper's data NoC is a Garnet2.0 packet-switched mesh; we approximate it
+with per-hop latency plus serialization at the contended endpoints (LLC bank
+request/response ports).  Link-level contention inside the mesh is not
+modeled — the paper's own sensitivity study (Figure 17c) finds the on-chip
+network width is not critical, and endpoint serialization captures the
+first-order effect of narrow networks.
+
+Tiles are addressed row-major: core ``i`` sits at ``(i % W, i // W)``.  LLC
+banks sit above row 0 and below row H-1, evenly spread across columns
+(paper Section 3.1: "at the top and bottom of each mesh column, there is a
+shared LLC").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def tile_coords(core_id: int, width: int) -> Tuple[int, int]:
+    return core_id % width, core_id // width
+
+
+def bank_coords(bank_id: int, num_banks: int, width: int,
+                height: int) -> Tuple[int, int]:
+    """Position of an LLC bank on the mesh perimeter."""
+    top = (num_banks + 1) // 2
+    if bank_id < top:
+        col = bank_id * width // top
+        return col, -1
+    bot = num_banks - top
+    col = (bank_id - top) * width // max(1, bot)
+    return col, height
+
+
+def hops_core_to_bank(core_id: int, bank_id: int, num_banks: int,
+                      width: int, height: int) -> int:
+    cx, cy = tile_coords(core_id, width)
+    bx, by = bank_coords(bank_id, num_banks, width, height)
+    return abs(cx - bx) + abs(cy - by)
+
+
+def hops_core_to_core(a: int, b: int, width: int) -> int:
+    ax, ay = tile_coords(a, width)
+    bx, by = tile_coords(b, width)
+    return abs(ax - bx) + abs(ay - by)
+
+
+class NocModel:
+    """Precomputed hop tables for one machine configuration."""
+
+    def __init__(self, width: int, height: int, num_banks: int,
+                 hop_latency: int = 1):
+        self.width = width
+        self.height = height
+        self.num_banks = num_banks
+        self.hop_latency = hop_latency
+        ncores = width * height
+        self._core_bank: List[List[int]] = [
+            [hops_core_to_bank(c, b, num_banks, width, height)
+             for b in range(num_banks)]
+            for c in range(ncores)
+        ]
+
+    def bank_hops(self, core_id: int, bank_id: int) -> int:
+        return self._core_bank[core_id][bank_id]
+
+    def bank_delay(self, core_id: int, bank_id: int) -> int:
+        """One-way latency core <-> bank (hops plus injection)."""
+        return self._core_bank[core_id][bank_id] * self.hop_latency + 1
+
+    def core_delay(self, a: int, b: int) -> int:
+        return hops_core_to_core(a, b, self.width) * self.hop_latency + 1

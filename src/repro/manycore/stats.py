@@ -1,0 +1,102 @@
+"""Statistics containers for simulation runs.
+
+The stall taxonomy mirrors the paper's CPI-stack figures (12 and 13):
+``issued``, ``frame`` (waiting for a DAE frame / outstanding load),
+``inet`` (instruction forwarding input empty), ``backpressure`` (inet
+output full), and ``other`` (scoreboard, load-queue, branch bubbles, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CoreStats:
+    """Per-core event counts."""
+
+    cycles: int = 0
+    instrs: int = 0
+    icache_accesses: int = 0
+    spad_reads: int = 0
+    spad_writes: int = 0
+    inet_forwards: int = 0
+
+    # stall cycles by cause
+    stall_frame: int = 0
+    stall_inet_input: int = 0
+    stall_backpressure: int = 0
+    stall_scoreboard: int = 0
+    stall_loadq: int = 0
+    stall_branch: int = 0
+    stall_other: int = 0
+
+    # instruction mix (for the energy model)
+    n_int_alu: int = 0
+    n_mul: int = 0
+    n_div: int = 0
+    n_fp: int = 0
+    n_mem: int = 0
+    n_simd: int = 0
+    n_control: int = 0
+
+    # SDV-specific
+    vloads_issued: int = 0
+    microthreads: int = 0
+    frames_consumed: int = 0
+
+    def stall_total(self) -> int:
+        return (self.stall_frame + self.stall_inet_input +
+                self.stall_backpressure + self.stall_scoreboard +
+                self.stall_loadq + self.stall_branch + self.stall_other)
+
+
+@dataclass
+class MemStats:
+    """LLC + DRAM event counts (aggregated over banks)."""
+
+    llc_accesses: int = 0
+    llc_misses: int = 0
+    llc_word_reads: int = 0
+    llc_word_writes: int = 0
+    dram_lines_read: int = 0
+    dram_lines_written: int = 0
+    wide_requests: int = 0
+    response_packets: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.llc_accesses == 0:
+            return 0.0
+        return self.llc_misses / self.llc_accesses
+
+
+@dataclass
+class RunStats:
+    """Everything a single simulation produces, for figures and energy."""
+
+    cycles: int = 0
+    cores: Dict[int, CoreStats] = field(default_factory=dict)
+    mem: MemStats = field(default_factory=MemStats)
+    noc_word_hops: int = 0
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self.cores.values())
+
+    @property
+    def total_instrs(self) -> int:
+        return self.total('instrs')
+
+    @property
+    def total_icache_accesses(self) -> int:
+        return self.total('icache_accesses')
+
+    def summary(self) -> str:
+        lines = [f'cycles: {self.cycles}',
+                 f'instructions: {self.total_instrs}',
+                 f'icache accesses: {self.total_icache_accesses}',
+                 f'LLC accesses: {self.mem.llc_accesses} '
+                 f'(miss rate {self.mem.miss_rate:.3f})',
+                 f'DRAM lines read: {self.mem.dram_lines_read}']
+        return '\n'.join(lines)

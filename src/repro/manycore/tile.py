@@ -1,0 +1,706 @@
+"""One manycore tile: an in-order core with I-cache, scratchpad, and inet.
+
+The pipeline model follows the paper's CPU (8-stage, single-issue, in-order
+issue, out-of-order writeback, in-order commit) at issue granularity: at
+most one instruction issues per cycle, destination/source registers are
+tracked with a scoreboard whose release times model functional-unit
+latencies, and loads occupy one of two load-queue entries until their
+response returns.  Taken branches cost a fixed bubble.
+
+A tile operates in one of four roles (paper Figure 1/6):
+
+* ``independent`` — ordinary MIMD execution, fetching from its I-cache;
+* ``scalar``      — leads a vector group; fetches normally, plus issues
+  ``vissue`` / ``vload`` / ``devec`` on the group's behalf;
+* ``expander``    — fetches microthread instructions and forwards them on
+  the inet; executes them as lane 0;
+* ``vector``      — frontend and I-cache disabled; executes instructions
+  popped from the inet and forwards them downstream.
+
+Stall accounting uses *gap attribution*: when an instruction finally issues,
+the idle gap since the core was last ready is charged to the most recent
+blocking cause, producing the CPI stacks of Figures 12/13/15.
+"""
+
+from __future__ import annotations
+
+from ..core.vgroup import (ROLE_EXPANDER, ROLE_INDEPENDENT, ROLE_SCALAR,
+                           ROLE_VECTOR)
+from ..core.inet import InetQueue, MSG_DEVEC, MSG_INST, MSG_LAUNCH
+from ..core.wide_access import expand_vload
+from ..isa import opcodes as op
+from ..isa.instruction import Instr
+from .icache import ICache
+from .llc import KIND_LOAD, KIND_STORE, KIND_WIDE, MemRequest
+from .scratchpad import Scratchpad
+from .stats import CoreStats
+
+INF = 1 << 60
+
+# run states
+RUN = 0
+WAIT_BARRIER = 1
+WAIT_VCONFIG = 2
+HALTED = 3
+
+# stall causes (map onto CoreStats fields)
+_CAUSE_FIELD = {
+    'frame': 'stall_frame',
+    'inet_input': 'stall_inet_input',
+    'backpressure': 'stall_backpressure',
+    'scoreboard': 'stall_scoreboard',
+    'loadq': 'stall_loadq',
+    'branch': 'stall_branch',
+    'other': 'stall_other',
+}
+
+#: Instructions that execute even when the predication flag is clear.
+_PRED_EXEMPT = frozenset([op.PRED_EQ, op.PRED_NEQ, op.FRAME_START, op.REMEM,
+                          op.VEND, op.NOP])
+
+
+class SimError(Exception):
+    """An architectural error detected during simulation."""
+
+
+class Tile:
+    """One core of the fabric."""
+
+    def __init__(self, core_id: int, fabric, cfg):
+        self.core_id = core_id
+        self.fabric = fabric
+        self.cfg = cfg
+        self.stats = CoreStats()
+        self.icache = ICache(cfg.icache_capacity_bytes, cfg.icache_ways,
+                             cfg.cache_line_bytes, self.stats)
+        self.spad = Scratchpad(cfg.spad_words, self.stats)
+        self.inet_in = InetQueue(cfg.inet_queue_entries,
+                                 cfg.router_hop_latency)
+
+        self.program = None
+        self.pc = 0
+        self.regs = [0] * 64
+        self.vregs = [[0.0] * cfg.simd_width for _ in range(8)]
+        self._busy = [0] * 64  # scoreboard: cycle the register frees
+        self._busy_load = [False] * 64  # true if busy due to pending load
+        self._vbusy = [0] * 8
+        self.lq_count = 0
+
+        self.mode = ROLE_INDEPENDENT
+        self.state = RUN
+        self.halted = False
+        self.group = None
+        self.successor = None  # next Tile on the inet path
+        self.lane_idx = -1
+        self.pred = True
+
+        # expander microthread fetch state
+        self.in_mt = False
+        self.mt_pc = 0
+
+        # frontend state
+        self.fetch_stall_until = 0
+        self._fetch_pc = -1
+
+        # scheduling / accounting
+        self.next_wake = 0
+        self._ready_at = 0
+        self._stall_cause = 'other'
+        self.tid = 0
+        self.ncores_csr = 1
+        self.group_id_csr = 0
+        self.ngroups_csr = 0
+
+    # ------------------------------------------------------------------ wiring
+    def reset_for_run(self, program, entry_pc: int, tid: int, ncores: int):
+        self.program = program
+        self.pc = entry_pc
+        self.tid = tid
+        self.ncores_csr = ncores
+        self.next_wake = 0
+        self._ready_at = 0
+        self.state = RUN
+        self.halted = False
+        self.mode = ROLE_INDEPENDENT
+        self._fetch_pc = -1
+
+    def wake(self, cycle: int) -> None:
+        if cycle < self.next_wake:
+            self.next_wake = cycle
+
+    def push_inet(self, kind: str, payload, now: int) -> None:
+        """Called by the upstream tile; wakes this tile when data lands."""
+        self.inet_in.push(now, kind, payload)
+        self.fabric.wake_tile(self, now + self.inet_in.hop_latency)
+
+    # -------------------------------------------------------------- accounting
+    def _stall(self, cause: str, wake: int) -> int:
+        self._stall_cause = cause
+        return wake
+
+    def _commit_issue(self, inst: Instr, now: int) -> None:
+        gap = now - self._ready_at
+        if gap > 0:
+            st = self.stats
+            field = _CAUSE_FIELD[self._stall_cause]
+            setattr(st, field, getattr(st, field) + gap)
+        self._ready_at = now + 1
+        self.stats.instrs += 1
+        self._classify(inst.op)
+        if self.fabric.trace is not None:
+            self.fabric.trace.record(self.core_id, now, inst, self.mode)
+
+    def _charge_gap(self, now: int, cause: str) -> None:
+        """Attribute idle time without an instruction issue (mode changes)."""
+        gap = now - self._ready_at
+        if gap > 0:
+            st = self.stats
+            field = _CAUSE_FIELD[cause]
+            setattr(st, field, getattr(st, field) + gap)
+        self._ready_at = now + 1
+
+    def _classify(self, o: int) -> None:
+        st = self.stats
+        if o in (op.LW, op.SW, op.LWSP, op.SWSP, op.SWREM, op.VLOAD):
+            st.n_mem += 1
+        elif o == op.MUL:
+            st.n_mul += 1
+        elif o in (op.DIV, op.REM, op.FDIV, op.FSQRT):
+            st.n_div += 1
+        elif o in (op.FADD, op.FSUB, op.FMUL, op.FMA, op.FMIN, op.FMAX,
+                   op.FABS, op.FNEG, op.FLT, op.FLE, op.FEQ, op.FCVT_WS,
+                   op.FCVT_SW):
+            st.n_fp += 1
+        elif op.is_simd(o):
+            st.n_simd += 1
+        elif op.is_control(o):
+            st.n_control += 1
+        else:
+            st.n_int_alu += 1
+
+    # ------------------------------------------------------------------ stepping
+    def step(self, now: int) -> int:
+        """Advance this tile at cycle ``now``; returns the next wake cycle."""
+        if self.state != RUN:
+            return INF
+        m = self.mode
+        if m == ROLE_VECTOR:
+            return self._step_vector(now)
+        if m == ROLE_EXPANDER:
+            return self._step_expander(now)
+        return self._step_front(now)
+
+    # -- frontend modes (independent / scalar) ---------------------------------
+    def _step_front(self, now: int) -> int:
+        if self.fetch_stall_until > now:
+            return self.fetch_stall_until
+        prog = self.program
+        if self.pc >= len(prog.instrs):
+            raise SimError(f'core {self.core_id} fell off the program end')
+        inst = prog.instrs[self.pc]
+        if self._fetch_pc != self.pc:
+            pen = self.icache.fetch(self.pc)
+            self._fetch_pc = self.pc
+            if pen:
+                self.fetch_stall_until = now + pen
+                return self._stall('other', self.fetch_stall_until)
+        wake = self._check_operands(inst, now)
+        if wake is not None:
+            return wake
+        o = inst.op
+        # structural checks that must precede issue
+        if o == op.LW:
+            if self.lq_count >= self.cfg.load_queue_entries:
+                return self._stall('loadq', INF)
+        elif o == op.FRAME_START:
+            if not self._frame_ready():
+                return self._stall('frame', INF)
+        elif o in (op.VISSUE, op.DEVEC):
+            succ = self.successor
+            if succ is None:
+                raise SimError(f'{op.name(o)} outside a vector group '
+                               f'(core {self.core_id})')
+            if not succ.inet_in.can_accept():
+                return self._stall('backpressure', now + 1)
+        self._commit_issue(inst, now)
+        self._execute_front(inst, now)
+        return max(now + 1, self.fetch_stall_until)
+
+    # -- expander ---------------------------------------------------------------
+    def _step_expander(self, now: int) -> int:
+        q = self.inet_in
+        if not self.in_mt:
+            msg = q.peek(now)
+            if msg is None:
+                nr = q.next_ready_cycle()
+                return self._stall('inet_input', nr if nr is not None else INF)
+            kind, payload = msg
+            if kind == MSG_DEVEC:
+                return self._handle_devec(payload, now)
+            if kind == MSG_LAUNCH:
+                q.pop(now)
+                self.in_mt = True
+                self.mt_pc = payload
+                self.stats.microthreads += 1
+                self._charge_gap(now, 'inet_input')
+                self._fetch_pc = -1
+                return now + 1
+            raise SimError(f'expander received unexpected inet message '
+                           f'{kind!r}')
+        if self.fetch_stall_until > now:
+            return self.fetch_stall_until
+        prog = self.program
+        inst = prog.instrs[self.mt_pc]
+        if self._fetch_pc != self.mt_pc:
+            pen = self.icache.fetch(self.mt_pc)
+            self._fetch_pc = self.mt_pc
+            if pen:
+                self.fetch_stall_until = now + pen
+                return self._stall('other', self.fetch_stall_until)
+        o = inst.op
+        forward = (self.successor is not None and not op.is_control(o)
+                   and o != op.VEND)
+        if forward and not self.successor.inet_in.can_accept():
+            return self._stall('backpressure', now + 1)
+        skip = not self.pred and o not in _PRED_EXEMPT and not op.is_control(o)
+        if not skip:
+            if o == op.FRAME_START and not self._frame_ready():
+                return self._stall('frame', INF)
+            wake = self._check_operands(inst, now)
+            if wake is not None:
+                return wake
+        self._commit_issue(inst, now)
+        if forward:
+            self.successor.push_inet(MSG_INST, inst, now)
+            self.stats.inet_forwards += 1
+        if o == op.VEND:
+            self.in_mt = False
+            return now + 1
+        if op.is_control(o):
+            self._execute_control_mt(inst, now)
+        else:
+            if not skip:
+                self._execute_common(inst, now)
+            self.mt_pc += 1
+        return max(now + 1, self.fetch_stall_until)
+
+    def _execute_control_mt(self, inst: Instr, now: int) -> None:
+        """Branches/jumps inside a microthread (expander only)."""
+        o = inst.op
+        if o in (op.J, op.JAL):
+            if o == op.JAL:
+                self.regs[inst.rd] = self.mt_pc + 1
+            self.mt_pc = inst.imm
+            bubble = True
+        elif o == op.JR:
+            self.mt_pc = int(self.regs[inst.rs1])
+            bubble = True
+        else:
+            taken, target = self._branch_outcome(inst)
+            self.mt_pc = target if taken else self.mt_pc + 1
+            # the expander pauses fetch on *every* branch until it resolves,
+            # to avoid forwarding wrong-path instructions (paper Section 3.2)
+            bubble = taken or self.cfg.expander_pause_on_branch
+        if bubble:
+            self.fetch_stall_until = now + self.cfg.branch_bubble
+            self._stall_cause = 'branch'
+
+    # -- vector lane --------------------------------------------------------------
+    def _step_vector(self, now: int) -> int:
+        q = self.inet_in
+        msg = q.peek(now)
+        if msg is None:
+            nr = q.next_ready_cycle()
+            return self._stall('inet_input', nr if nr is not None else INF)
+        kind, payload = msg
+        if kind == MSG_DEVEC:
+            return self._handle_devec(payload, now)
+        if kind != MSG_INST:
+            raise SimError(f'vector core {self.core_id} received {kind!r}')
+        inst: Instr = payload
+        succ = self.successor
+        if succ is not None and not succ.inet_in.can_accept():
+            return self._stall('backpressure', now + 1)
+        skip = not self.pred and inst.op not in _PRED_EXEMPT
+        if inst.op == op.FRAME_START and not self._frame_ready():
+            return self._stall('frame', INF)
+        if not skip:
+            wake = self._check_operands(inst, now)
+            if wake is not None:
+                return wake
+        q.pop(now)
+        if succ is not None:
+            succ.push_inet(MSG_INST, inst, now)
+            self.stats.inet_forwards += 1
+        self._commit_issue(inst, now)
+        if not skip:
+            self._execute_common(inst, now)
+        return now + 1
+
+    def _handle_devec(self, resume_pc: int, now: int) -> int:
+        succ = self.successor
+        if succ is not None:
+            if not succ.inet_in.can_accept():
+                return self._stall('backpressure', now + 1)
+            succ.push_inet(MSG_DEVEC, resume_pc, now)
+        self.inet_in.pop(now)
+        self._charge_gap(now, 'inet_input')
+        self._leave_group(resume_pc)
+        return now + 1
+
+    def _leave_group(self, resume_pc: int) -> None:
+        self.mode = ROLE_INDEPENDENT
+        self.group = None
+        self.successor = None
+        self.lane_idx = -1
+        self.pred = True
+        self.in_mt = False
+        self.pc = resume_pc
+        self._fetch_pc = -1
+
+    def _frame_ready(self) -> bool:
+        fq = self.spad.frames
+        if fq is None:
+            raise SimError(f'frame_start with no frame config '
+                           f'(core {self.core_id})')
+        return fq.head_ready()
+
+    # ---------------------------------------------------------------- scoreboard
+    def _check_operands(self, inst: Instr, now: int):
+        """None if all operands ready; else a wake hint (stall recorded)."""
+        busy = self._busy
+        worst = 0
+        is_load = False
+        for r in inst.reads:
+            b = busy[r]
+            if b > now and b > worst:
+                worst = b
+                is_load = self._busy_load[r]
+        for w in inst.writes:
+            b = busy[w]
+            if b > now and b > worst:
+                worst = b
+                is_load = self._busy_load[w]
+        if inst.vreads or inst.vwrites:
+            vbusy = self._vbusy
+            for r in inst.vreads:
+                if vbusy[r] > worst:
+                    worst = vbusy[r]
+            for w in inst.vwrites:
+                if vbusy[w] > worst:
+                    worst = vbusy[w]
+        if worst <= now:
+            return None
+        cause = 'frame' if is_load else 'scoreboard'
+        return self._stall(cause, worst if worst < INF else INF)
+
+    def _writeback(self, reg: int, value, at: int) -> None:
+        if reg == 0:
+            return
+        self.regs[reg] = value
+        self._busy[reg] = at
+
+    # ---------------------------------------------------------------- execution
+    def _execute_front(self, inst: Instr, now: int) -> None:
+        """Execute in a frontend mode (independent/scalar); advances self.pc."""
+        o = inst.op
+        if op.is_control(o):
+            taken, target = self._branch_outcome(inst)
+            if o == op.J:
+                self.pc = inst.imm
+            elif o == op.JAL:
+                self._writeback(inst.rd, self.pc + 1, now + 1)
+                self.pc = inst.imm
+            elif o == op.JR:
+                self.pc = int(self.regs[inst.rs1])
+            elif taken:
+                self.pc = target
+                self.fetch_stall_until = now + self.cfg.branch_bubble
+                self._stall_cause = 'branch'
+            else:
+                self.pc += 1
+                return
+            self.fetch_stall_until = now + self.cfg.branch_bubble
+            self._stall_cause = 'branch'
+            return
+        if o == op.HALT:
+            self.pc += 1
+            self.halted = True
+            self.state = HALTED
+            self.fabric.on_halt(self, now)
+            return
+        if o == op.BARRIER:
+            self.pc += 1
+            self.fabric.barrier_arrive(self, now)
+            return
+        if o == op.VCONFIG:
+            self.pc += 1
+            handle = int(self.regs[inst.rs1])
+            self.fabric.vconfig_arrive(self, handle, now)
+            return
+        if o == op.VISSUE:
+            self.successor.push_inet(MSG_LAUNCH, inst.imm, now)
+            self.stats.inet_forwards += 1
+            self.pc += 1
+            return
+        if o == op.DEVEC:
+            self.successor.push_inet(MSG_DEVEC, inst.imm, now)
+            self.stats.inet_forwards += 1
+            self.mode = ROLE_INDEPENDENT
+            self.group = None
+            self.successor = None
+            self.pc += 1
+            return
+        self._execute_common(inst, now)
+        self.pc += 1
+
+    def _branch_outcome(self, inst: Instr):
+        o = inst.op
+        if o == op.BEQ:
+            return self.regs[inst.rs1] == self.regs[inst.rs2], inst.imm
+        if o == op.BNE:
+            return self.regs[inst.rs1] != self.regs[inst.rs2], inst.imm
+        if o == op.BLT:
+            return self.regs[inst.rs1] < self.regs[inst.rs2], inst.imm
+        if o == op.BGE:
+            return self.regs[inst.rs1] >= self.regs[inst.rs2], inst.imm
+        return False, inst.imm
+
+    def _execute_common(self, inst: Instr, now: int) -> None:
+        """Non-control instructions, shared by every mode."""
+        o = inst.op
+        regs = self.regs
+        lat = op.LATENCY.get(o, 1)
+        wb = now + lat
+
+        # -- integer --
+        if o == op.ADD:
+            self._writeback(inst.rd, regs[inst.rs1] + regs[inst.rs2], wb)
+        elif o == op.SUB:
+            self._writeback(inst.rd, regs[inst.rs1] - regs[inst.rs2], wb)
+        elif o == op.MUL:
+            self._writeback(inst.rd, regs[inst.rs1] * regs[inst.rs2], wb)
+        elif o == op.DIV:
+            a, b = regs[inst.rs1], regs[inst.rs2]
+            self._writeback(inst.rd, int(a / b) if b else -1, wb)
+        elif o == op.REM:
+            a, b = int(regs[inst.rs1]), int(regs[inst.rs2])
+            self._writeback(inst.rd, a - int(a / b) * b if b else a, wb)
+        elif o == op.AND:
+            self._writeback(inst.rd, int(regs[inst.rs1]) & int(regs[inst.rs2]), wb)
+        elif o == op.OR:
+            self._writeback(inst.rd, int(regs[inst.rs1]) | int(regs[inst.rs2]), wb)
+        elif o == op.XOR:
+            self._writeback(inst.rd, int(regs[inst.rs1]) ^ int(regs[inst.rs2]), wb)
+        elif o == op.SLL:
+            self._writeback(inst.rd, int(regs[inst.rs1]) << int(regs[inst.rs2]), wb)
+        elif o == op.SRL:
+            self._writeback(inst.rd, int(regs[inst.rs1]) >> int(regs[inst.rs2]), wb)
+        elif o == op.SLT:
+            self._writeback(inst.rd, int(regs[inst.rs1] < regs[inst.rs2]), wb)
+        elif o == op.ADDI:
+            self._writeback(inst.rd, regs[inst.rs1] + inst.imm, wb)
+        elif o == op.ANDI:
+            self._writeback(inst.rd, int(regs[inst.rs1]) & inst.imm, wb)
+        elif o == op.ORI:
+            self._writeback(inst.rd, int(regs[inst.rs1]) | inst.imm, wb)
+        elif o == op.XORI:
+            self._writeback(inst.rd, int(regs[inst.rs1]) ^ inst.imm, wb)
+        elif o == op.SLLI:
+            self._writeback(inst.rd, int(regs[inst.rs1]) << inst.imm, wb)
+        elif o == op.SRLI:
+            self._writeback(inst.rd, int(regs[inst.rs1]) >> inst.imm, wb)
+        elif o == op.SLTI:
+            self._writeback(inst.rd, int(regs[inst.rs1] < inst.imm), wb)
+        elif o == op.LI:
+            self._writeback(inst.rd, inst.imm, wb)
+        elif o == op.MV:
+            self._writeback(inst.rd, regs[inst.rs1], wb)
+
+        # -- floating point --
+        elif o == op.FADD:
+            self._writeback(inst.rd, regs[inst.rs1] + regs[inst.rs2], wb)
+        elif o == op.FSUB:
+            self._writeback(inst.rd, regs[inst.rs1] - regs[inst.rs2], wb)
+        elif o == op.FMUL:
+            self._writeback(inst.rd, regs[inst.rs1] * regs[inst.rs2], wb)
+        elif o == op.FDIV:
+            self._writeback(inst.rd, regs[inst.rs1] / regs[inst.rs2], wb)
+        elif o == op.FSQRT:
+            self._writeback(inst.rd, regs[inst.rs1] ** 0.5, wb)
+        elif o == op.FMIN:
+            self._writeback(inst.rd, min(regs[inst.rs1], regs[inst.rs2]), wb)
+        elif o == op.FMAX:
+            self._writeback(inst.rd, max(regs[inst.rs1], regs[inst.rs2]), wb)
+        elif o == op.FMA:
+            self._writeback(
+                inst.rd, regs[inst.rd] + regs[inst.rs1] * regs[inst.rs2], wb)
+        elif o == op.FABS:
+            self._writeback(inst.rd, abs(regs[inst.rs1]), wb)
+        elif o == op.FNEG:
+            self._writeback(inst.rd, -regs[inst.rs1], wb)
+        elif o == op.FLT:
+            self._writeback(inst.rd, int(regs[inst.rs1] < regs[inst.rs2]), wb)
+        elif o == op.FLE:
+            self._writeback(inst.rd, int(regs[inst.rs1] <= regs[inst.rs2]), wb)
+        elif o == op.FEQ:
+            self._writeback(inst.rd, int(regs[inst.rs1] == regs[inst.rs2]), wb)
+        elif o == op.FCVT_WS:
+            self._writeback(inst.rd, int(regs[inst.rs1]), wb)
+        elif o == op.FCVT_SW:
+            self._writeback(inst.rd, float(regs[inst.rs1]), wb)
+
+        # -- memory --
+        elif o == op.LW:
+            self._issue_load(inst, now)
+        elif o == op.SW:
+            addr = int(regs[inst.rs1]) + inst.imm
+            self.fabric.send_store(self.core_id, addr, regs[inst.rs2], now)
+        elif o == op.LWSP:
+            off = int(regs[inst.rs1]) + inst.imm
+            value = self.spad.read(off)
+            self._writeback(inst.rd, value, now + self.cfg.spad_hit_latency)
+        elif o == op.SWSP:
+            off = int(regs[inst.rs1]) + inst.imm
+            self.spad.write(off, regs[inst.rs2])
+        elif o == op.SWREM:
+            dest = int(regs[inst.rs2])
+            off = int(regs[inst.rd]) + inst.imm
+            self.fabric.send_remote_store(self.core_id, dest, off,
+                                          regs[inst.rs1], now)
+
+        # -- SDV --
+        elif o == op.VLOAD:
+            self._issue_vload(inst, now)
+        elif o == op.FRAME_START:
+            fq = self.spad.frames
+            if fq is None:
+                raise SimError(f'frame_start with no frame config '
+                               f'(core {self.core_id})')
+            self._writeback(inst.rd, fq.head_offset(), wb)
+        elif o == op.REMEM:
+            self.spad.frames.free_head()
+            self.stats.frames_consumed += 1
+        elif o == op.PRED_EQ:
+            self.pred = regs[inst.rs1] == regs[inst.rs2]
+        elif o == op.PRED_NEQ:
+            self.pred = regs[inst.rs1] != regs[inst.rs2]
+        elif o == op.VEND:
+            pass  # meaningful only on the expander (handled there)
+
+        # -- system --
+        elif o == op.CSRW:
+            self._csr_write(inst.imm, regs[inst.rs1])
+        elif o == op.CSRR:
+            self._writeback(inst.rd, self._csr_read(inst.imm), wb)
+        elif o == op.NOP:
+            pass
+        elif o == op.PRINT:
+            print(f'[core {self.core_id} @ {now}] '
+                  f'r{inst.rs1} = {regs[inst.rs1]}')
+
+        # -- per-core SIMD --
+        elif o == op.VL4:
+            base = int(regs[inst.rs1]) + inst.imm
+            w = self.cfg.simd_width
+            self.vregs[inst.rd] = [self.spad.read(base + i) for i in range(w)]
+            self._vbusy[inst.rd] = now + self.cfg.spad_hit_latency
+        elif o == op.VS4:
+            base = int(regs[inst.rs1]) + inst.imm
+            for i, v in enumerate(self.vregs[inst.rd]):
+                self.spad.write(base + i, v)
+        elif o == op.VADD4:
+            a, b = self.vregs[inst.rs1], self.vregs[inst.rs2]
+            self.vregs[inst.rd] = [x + y for x, y in zip(a, b)]
+            self._vbusy[inst.rd] = wb
+        elif o == op.VSUB4:
+            a, b = self.vregs[inst.rs1], self.vregs[inst.rs2]
+            self.vregs[inst.rd] = [x - y for x, y in zip(a, b)]
+            self._vbusy[inst.rd] = wb
+        elif o == op.VMUL4:
+            a, b = self.vregs[inst.rs1], self.vregs[inst.rs2]
+            self.vregs[inst.rd] = [x * y for x, y in zip(a, b)]
+            self._vbusy[inst.rd] = wb
+        elif o == op.VFMA4:
+            a, b = self.vregs[inst.rs1], self.vregs[inst.rs2]
+            d = self.vregs[inst.rd]
+            self.vregs[inst.rd] = [acc + x * y for acc, x, y in zip(d, a, b)]
+            self._vbusy[inst.rd] = wb
+        elif o == op.VBCAST:
+            self.vregs[inst.rd] = [regs[inst.rs1]] * self.cfg.simd_width
+            self._vbusy[inst.rd] = wb
+        elif o == op.VREDSUM4:
+            self._writeback(inst.rd, sum(self.vregs[inst.rs1]), wb)
+        else:
+            raise SimError(f'cannot execute {op.name(o)} here '
+                           f'(core {self.core_id}, mode {self.mode})')
+
+    # ------------------------------------------------------------------ memory
+    def _issue_load(self, inst: Instr, now: int) -> None:
+        addr = int(self.regs[inst.rs1]) + inst.imm
+        rd = inst.rd
+        self.lq_count += 1
+        if rd != 0:
+            self._busy[rd] = INF
+            self._busy_load[rd] = True
+
+        def on_data(value, at, tile=self, reg=rd):
+            tile.lq_count -= 1
+            if reg != 0:
+                tile.regs[reg] = value
+                tile._busy[reg] = at
+                tile._busy_load[reg] = False
+            tile.fabric.wake_tile(tile, at)
+
+        req = MemRequest(KIND_LOAD, addr, 1, self.core_id, on_data=on_data)
+        self.fabric.send_to_bank(req, now)
+
+    def _issue_vload(self, inst: Instr, now: int) -> None:
+        core_off, width, variant, part, _ = inst.ex
+        addr = int(self.regs[inst.rs1])
+        spad_off = int(self.regs[inst.rs2])
+        lanes = self.group.lanes if self.group is not None else []
+        expansion = expand_vload(addr, spad_off, core_off, width, variant,
+                                 part, lanes, self.core_id,
+                                 self.cfg.line_words)
+        self.stats.vloads_issued += 1
+        if expansion is None:
+            return
+        start, chunks = expansion
+        nwords = sum(c[1] for c in chunks)
+        req = MemRequest(KIND_WIDE, start, nwords, self.core_id,
+                         chunks=chunks, is_frame=True)
+        self.fabric.send_to_bank(req, now)
+
+    # ------------------------------------------------------------------- CSRs
+    def _csr_write(self, csr: int, value) -> None:
+        if csr == op.CSR_FRAME_CFG:
+            v = int(value)
+            frame_size = v & 0xFFF
+            slots = (v >> 12) & 0xFFF
+            self.spad.configure_frames(frame_size, slots,
+                                       self.cfg.frame_counters)
+        elif csr == op.CSR_VCONFIG:
+            pass  # modeled via the VCONFIG instruction
+        else:
+            raise SimError(f'write to unknown CSR {csr}')
+
+    def _csr_read(self, csr: int):
+        if csr == op.CSR_TID:
+            return self.lane_idx if self.lane_idx >= 0 else self.tid
+        if csr == op.CSR_GROUP_SIZE:
+            return self.group.num_lanes if self.group else 1
+        if csr == op.CSR_COREID:
+            return self.core_id
+        if csr == op.CSR_NCORES:
+            return self.ncores_csr
+        if csr == op.CSR_GROUP_ID:
+            return self.group_id_csr
+        if csr == op.CSR_NGROUPS:
+            return self.ngroups_csr
+        raise SimError(f'read of unknown CSR {csr}')
+
+    def __repr__(self):
+        from ..core.vgroup import ROLE_NAMES
+        return (f'<Tile {self.core_id} {ROLE_NAMES[self.mode]} pc={self.pc} '
+                f'state={self.state}>')

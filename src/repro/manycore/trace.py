@@ -1,0 +1,78 @@
+"""Instruction tracing for debugging kernels on the fabric.
+
+Attach a :class:`Tracer` to a fabric before ``run()`` to record every
+issued instruction (optionally filtered by core or cycle window), then
+render the interleaved trace:
+
+>>> fabric = Fabric(small_config())          # doctest: +SKIP
+>>> tracer = Tracer(cores=[0, 1], limit=200)  # doctest: +SKIP
+>>> tracer.attach(fabric)                     # doctest: +SKIP
+>>> fabric.run()                              # doctest: +SKIP
+>>> print(tracer.render())                    # doctest: +SKIP
+
+Tracing costs one predicate per issued instruction when attached and
+nothing when not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.vgroup import ROLE_NAMES
+from ..isa.instruction import Instr, disasm
+
+
+@dataclass
+class TraceEntry:
+    cycle: int
+    core: int
+    mode: int
+    text: str
+
+    def __str__(self):
+        role = ROLE_NAMES.get(self.mode, '?')[0].upper()
+        return f'{self.cycle:8d} c{self.core:02d}[{role}] {self.text}'
+
+
+class Tracer:
+    """Collects issued instructions from selected cores."""
+
+    def __init__(self, cores: Optional[Sequence[int]] = None,
+                 start: int = 0, stop: int = 1 << 60,
+                 limit: int = 100_000):
+        self.cores = set(cores) if cores is not None else None
+        self.start = start
+        self.stop = stop
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+
+    def attach(self, fabric) -> 'Tracer':
+        fabric.trace = self
+        return self
+
+    def record(self, core: int, cycle: int, inst: Instr,
+               mode: int) -> None:
+        if self.cores is not None and core not in self.cores:
+            return
+        if not self.start <= cycle < self.stop:
+            return
+        if len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        self.entries.append(TraceEntry(cycle, core, mode, disasm(inst)))
+
+    def render(self, last: Optional[int] = None) -> str:
+        entries = self.entries[-last:] if last else self.entries
+        lines = [str(e) for e in entries]
+        if self.dropped:
+            lines.append(f'... {self.dropped} entries dropped (limit '
+                         f'{self.limit})')
+        return '\n'.join(lines)
+
+    def per_core(self, core: int) -> List[TraceEntry]:
+        return [e for e in self.entries if e.core == core]
+
+    def __len__(self):
+        return len(self.entries)

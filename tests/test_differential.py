@@ -1,0 +1,162 @@
+"""Differential testing: random programs vs a direct Python evaluation.
+
+Hypothesis generates random straight-line arithmetic programs; the
+simulator's architectural result must match a simple Python interpretation
+of the same instructions.  This guards the ALU semantics, the scoreboard
+(results must not depend on latencies), and writeback ordering.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Assembler, opcodes as op
+from repro.manycore import Fabric, small_config
+
+# (mnemonic, arity, reference lambda)
+INT_OPS = [
+    ('add', 2, lambda a, b: a + b),
+    ('sub', 2, lambda a, b: a - b),
+    ('mul', 2, lambda a, b: a * b),
+    ('and_', 2, lambda a, b: a & b),
+    ('or_', 2, lambda a, b: a | b),
+    ('xor', 2, lambda a, b: a ^ b),
+    ('slt', 2, lambda a, b: int(a < b)),
+]
+
+FP_OPS = [
+    ('fadd', 2, lambda a, b: a + b),
+    ('fsub', 2, lambda a, b: a - b),
+    ('fmul', 2, lambda a, b: a * b),
+    ('fmin', 2, lambda a, b: min(a, b)),
+    ('fmax', 2, lambda a, b: max(a, b)),
+]
+
+
+@st.composite
+def int_programs(draw):
+    """A random straight-line integer program over x5..x12."""
+    regs = [f'x{i}' for i in range(5, 13)]
+    init = {r: draw(st.integers(-100, 100)) for r in regs}
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(INT_OPS), st.sampled_from(regs),
+                  st.sampled_from(regs), st.sampled_from(regs)),
+        min_size=1, max_size=25))
+    return init, ops
+
+
+@st.composite
+def fp_programs(draw):
+    regs = [f'f{i}' for i in range(1, 9)]
+    finite = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+    init = {r: draw(finite) for r in regs}
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(FP_OPS), st.sampled_from(regs),
+                  st.sampled_from(regs), st.sampled_from(regs)),
+        min_size=1, max_size=25))
+    return init, ops
+
+
+def run_program(init, ops, out_regs):
+    fabric = Fabric(small_config())
+    out = fabric.alloc(len(out_regs))
+    a = Assembler()
+    a.csrr('x1', op.CSR_COREID)
+    a.beq('x1', 'x0', 'main')
+    a.halt()
+    a.bind('main')
+    for reg, val in init.items():
+        a.li(reg, val)
+    for (name, _, _), rd, rs1, rs2 in ops:
+        getattr(a, name)(rd, rs1, rs2)
+    a.li('x30', out)
+    for i, reg in enumerate(out_regs):
+        a.sw(reg, 'x30', i)
+    a.halt()
+    fabric.load_program(a.finish())
+    fabric.run()
+    return fabric.read_array(out, len(out_regs))
+
+
+def reference(init, ops):
+    env = dict(init)
+    for (name, _, fn), rd, rs1, rs2 in ops:
+        env[rd] = fn(env[rs1], env[rs2])
+    return env
+
+
+class TestDifferential:
+    @given(int_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_integer_programs_match_python(self, prog):
+        init, ops = prog
+        regs = sorted(init)
+        got = run_program(init, ops, regs)
+        env = reference(init, ops)
+        assert got == [env[r] for r in regs]
+
+    @given(fp_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_fp_programs_match_python(self, prog):
+        init, ops = prog
+        regs = sorted(init)
+        got = run_program(init, ops, regs)
+        env = reference(init, ops)
+        for g, r in zip(got, (env[r] for r in regs)):
+            assert g == pytest.approx(r, rel=1e-12, abs=1e-12)
+
+    @given(st.integers(-1000, 1000), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_div_rem_identity(self, a_val, b_val):
+        """C-style truncating division: a == b*(a/b) + a%b."""
+        init = {'x5': a_val, 'x6': b_val}
+        ops = [(('div', 2, None), 'x7', 'x5', 'x6'),
+               (('rem', 2, None), 'x8', 'x5', 'x6')]
+        fabric = Fabric(small_config())
+        out = fabric.alloc(2)
+        asm = Assembler()
+        asm.csrr('x1', op.CSR_COREID)
+        asm.beq('x1', 'x0', 'main')
+        asm.halt()
+        asm.bind('main')
+        asm.li('x5', a_val)
+        asm.li('x6', b_val)
+        asm.div('x7', 'x5', 'x6')
+        asm.rem('x8', 'x5', 'x6')
+        asm.li('x30', out)
+        asm.sw('x7', 'x30', 0)
+        asm.sw('x8', 'x30', 1)
+        asm.halt()
+        fabric.load_program(asm.finish())
+        fabric.run()
+        q, r = fabric.read_array(out, 2)
+        assert b_val * q + r == a_val
+        assert abs(r) < b_val
+        assert q == int(a_val / b_val)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False,
+                              allow_infinity=False),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_roundtrip_preserves_values(self, values):
+        """Store-then-load through the LLC returns exactly what went in."""
+        fabric = Fabric(small_config())
+        src = fabric.alloc(values)
+        dst = fabric.alloc(len(values))
+        a = Assembler()
+        a.csrr('x1', op.CSR_COREID)
+        a.beq('x1', 'x0', 'main')
+        a.halt()
+        a.bind('main')
+        a.li('x5', src)
+        a.li('x6', dst)
+        with a.for_count('x7', len(values)):
+            a.lw('f1', 'x5', 0)
+            a.sw('f1', 'x6', 0)
+            a.addi('x5', 'x5', 1)
+            a.addi('x6', 'x6', 1)
+        a.halt()
+        fabric.load_program(a.finish())
+        fabric.run()
+        assert fabric.read_array(dst, len(values)) == values

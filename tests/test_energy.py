@@ -1,0 +1,99 @@
+"""Unit tests for the energy model (paper Section 5.2 accounting rules)."""
+
+import pytest
+
+from repro.energy import EnergyModel, EnergyParams, compute_energy
+from repro.manycore import DEFAULT_CONFIG
+from repro.manycore.stats import CoreStats, MemStats, RunStats
+
+
+def stats_with(core_kwargs=None, mem_kwargs=None, hops=0):
+    rs = RunStats()
+    cs = CoreStats(**(core_kwargs or {}))
+    rs.cores = {0: cs}
+    for k, v in (mem_kwargs or {}).items():
+        setattr(rs.mem, k, v)
+    rs.noc_word_hops = hops
+    return rs
+
+
+class TestAccountingRules:
+    def test_fetched_instruction_pays_frontend_and_icache(self):
+        p = EnergyParams()
+        rs = stats_with({'instrs': 10, 'icache_accesses': 10,
+                         'n_int_alu': 10})
+        e = compute_energy(rs, DEFAULT_CONFIG, p)
+        assert e.frontend == pytest.approx(10 * p.frontend)
+        assert e.icache == pytest.approx(10 * p.icache)
+        assert e.inet == 0.0
+
+    def test_vector_mode_swaps_fetch_for_inet(self):
+        """Instructions executed but not fetched arrived over the inet."""
+        p = EnergyParams()
+        rs = stats_with({'instrs': 10, 'icache_accesses': 2,
+                         'n_int_alu': 10})
+        e = compute_energy(rs, DEFAULT_CONFIG, p)
+        assert e.icache == pytest.approx(2 * p.icache)
+        assert e.inet == pytest.approx(8 * p.inet_forward)
+
+    def test_inet_hop_cheaper_than_icache_hit(self):
+        """The paper's core claim about forwarding energy."""
+        p = EnergyParams()
+        assert p.inet_forward < 0.25 * (p.icache + p.frontend)
+
+    def test_div_scales_with_cycles(self):
+        p = EnergyParams()
+        rs_div = stats_with({'instrs': 1, 'icache_accesses': 1, 'n_div': 1})
+        rs_alu = stats_with({'instrs': 1, 'icache_accesses': 1,
+                             'n_int_alu': 1})
+        ediv = compute_energy(rs_div, DEFAULT_CONFIG, p)
+        ealu = compute_energy(rs_alu, DEFAULT_CONFIG, p)
+        assert ediv.alu > 10 * ealu.alu
+
+    def test_simd_pays_per_lane(self):
+        p = EnergyParams()
+        rs = stats_with({'instrs': 1, 'icache_accesses': 1, 'n_simd': 1})
+        e = compute_energy(rs, DEFAULT_CONFIG, p)
+        assert e.alu >= p.simd_lane_alu * DEFAULT_CONFIG.simd_width
+
+    def test_dram_excluded_from_on_chip_total(self):
+        rs = stats_with(mem_kwargs={'dram_lines_read': 5})
+        e = compute_energy(rs, DEFAULT_CONFIG)
+        assert e.dram > 0
+        assert e.on_chip_total == 0.0
+        assert e.total == e.dram
+
+    def test_llc_charged_per_word(self):
+        """A w-wide vector load costs as much as w scalar loads."""
+        p = EnergyParams()
+        wide = stats_with(mem_kwargs={'llc_word_reads': 16,
+                                      'llc_accesses': 1})
+        narrow = stats_with(mem_kwargs={'llc_word_reads': 16,
+                                        'llc_accesses': 16})
+        ew = compute_energy(wide, DEFAULT_CONFIG, p)
+        en = compute_energy(narrow, DEFAULT_CONFIG, p)
+        # data movement identical; narrow pays more tag/control energy
+        assert en.llc > ew.llc
+        assert ew.llc >= 16 * p.llc_word
+
+    def test_noc_hops_counted(self):
+        p = EnergyParams()
+        e = compute_energy(stats_with(hops=100), DEFAULT_CONFIG, p)
+        assert e.noc == pytest.approx(100 * p.noc_word_hop)
+
+    def test_breakdown_sums_to_total(self):
+        rs = stats_with({'instrs': 7, 'icache_accesses': 5, 'n_fp': 3,
+                         'n_mem': 2, 'spad_reads': 4},
+                        {'llc_word_reads': 8, 'llc_accesses': 2,
+                         'dram_lines_read': 1}, hops=9)
+        e = compute_energy(rs, DEFAULT_CONFIG)
+        d = e.as_dict()
+        assert sum(d.values()) == pytest.approx(e.total)
+        assert sum(v for k, v in d.items() if k != 'dram') == \
+            pytest.approx(e.on_chip_total)
+
+    def test_custom_params_respected(self):
+        p = EnergyParams(icache=100.0)
+        rs = stats_with({'instrs': 1, 'icache_accesses': 1, 'n_int_alu': 1})
+        e = EnergyModel(p).compute(rs, DEFAULT_CONFIG)
+        assert e.icache == pytest.approx(100.0)

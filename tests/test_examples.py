@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end.
+
+compare_configs / energy_report / vector_length_sweep accept a scale or
+benchmark argument; the tests use small inputs to stay fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / 'examples'
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example('quickstart.py')
+        assert 'OK' in out
+        assert 'per-lane sums' in out
+
+    def test_compare_configs(self):
+        out = run_example('compare_configs.py', 'gemm', 'test')
+        assert 'verified against the numpy reference' in out
+        assert 'GPU' in out
+
+    def test_irregular_bfs(self):
+        out = run_example('irregular_bfs.py')
+        assert 'faster than V4 on bfs' in out
+
+    def test_energy_report(self):
+        out = run_example('energy_report.py', '2dconv')
+        assert 'icache' in out
+        assert 'V16' in out
+
+    def test_vector_length_sweep(self):
+        out = run_example('vector_length_sweep.py', 'gemm')
+        assert 'lanes' in out
+        assert '16' in out

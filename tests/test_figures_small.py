@@ -1,0 +1,83 @@
+"""Fast (test-scale, benchmark-subset) coverage of every figure function.
+
+The benchmarks/ harness runs these at full scale with shape assertions;
+here each figure function is exercised end-to-end on tiny inputs so plain
+``pytest tests/`` covers the figure plumbing too.
+"""
+
+import pytest
+
+from repro.harness import figures as F
+
+
+@pytest.fixture(scope='module')
+def cache():
+    return F.ResultCache(scale='test')
+
+
+SUBSET = ['bicg', 'gemm']
+
+
+class TestFigureFunctionsSmall:
+    def test_fig10_family(self, cache):
+        for fn in (F.fig10a_speedup, F.fig10b_icache, F.fig10c_energy):
+            s = fn(cache, benches=SUBSET)
+            assert set(s.rows) == set(SUBSET)
+            assert s.render()
+
+    def test_fig11(self, cache):
+        s = F.fig11_scalability(cache, benches=['gemm'])
+        row = s.rows['gemm']
+        assert row['NV_PF_1'] == 1.0
+        assert row['NV_PF_64'] > row['NV_PF_1']
+
+    def test_fig12_cpi(self, cache):
+        t = F.fig12_cpi_by_cores(cache, benches=['bicg'])
+        for cfg, comp in t['bicg'].items():
+            assert comp['issued'] == 1.0
+            assert all(v >= 0 for v in comp.values())
+        assert F.render_cpi(t, 'x')
+
+    def test_fig13_cpi(self, cache):
+        t = F.fig13_cpi_bandwidth(cache, benches=['bicg'])
+        assert set(t['bicg']) == {'B', '2X', 'V4'}
+
+    def test_fig14_family(self, cache):
+        s = F.fig14a_speedup(cache, benches=SUBSET)
+        assert s.rows['bicg']['GPU'] > 0
+        s = F.fig14b_icache(cache, benches=SUBSET)
+        assert 0 < s.rows['gemm']['BEST_V_PCV']
+        s = F.fig14c_energy(cache, benches=SUBSET)
+        assert 0 < s.rows['gemm']['PCV_PF']
+
+    def test_fig15_inet(self, cache):
+        hops = F.fig15_inet_stalls(cache, 4, benches=['bicg'],
+                                   kind='input')
+        assert len(hops['bicg']) == 5  # scalar + 4 lanes
+        assert hops['bicg'][0] == 0.0  # the scalar never pops the inet
+        bp = F.fig15_inet_stalls(cache, 4, benches=['bicg'],
+                                 kind='backpressure')
+        assert all(v >= 0 for v in bp['bicg'])
+
+    def test_fig15c(self, cache):
+        s = F.fig15c_frame_stalls(cache, benches=SUBSET)
+        for row in s.rows.values():
+            assert 0 <= row['NV_PF'] <= 1 and 0 <= row['V4'] <= 1
+
+    def test_fig16(self, cache):
+        s = F.fig16_vector_lengths(cache, benches=SUBSET)
+        for row in s.rows.values():
+            assert row['V4'] == 1.0
+
+    def test_fig17_family(self, cache):
+        s = F.fig17a_miss_rate(cache, benches=SUBSET)
+        for row in s.rows.values():
+            assert 0 <= row['NV_PF'] <= 1
+        s = F.fig17b_llc_capacity(cache, benches=['gemm'])
+        assert s.rows['gemm']['NV_PF_32kB'] == 1.0
+        s = F.fig17c_noc_width(cache, benches=['gemm'])
+        assert s.rows['gemm']['NV_PF_NW1'] == 1.0
+
+    def test_bfs(self, cache):
+        s = F.bfs_irregular(cache)
+        assert s.rows['bfs']['NV'] > 1.0

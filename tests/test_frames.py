@@ -1,0 +1,162 @@
+"""Unit + property tests for the DAE frame queue (paper Section 3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frames import FrameQueue, FrameWindowOverflow
+
+
+def fill_frame(fq, seq):
+    off = fq.slot_offset(seq)
+    for i in range(fq.frame_size):
+        fq.word_arrived(off + i)
+
+
+class TestFrameQueueBasics:
+    def test_initial_state(self):
+        fq = FrameQueue(base=0, frame_size=4, num_slots=8)
+        assert fq.head == 0
+        assert not fq.head_ready()
+        assert fq.open_frames() == 0
+
+    def test_fill_and_ready(self):
+        fq = FrameQueue(0, 4, 8)
+        fill_frame(fq, 0)
+        assert fq.head_ready()
+        assert fq.head_offset() == 0
+
+    def test_partial_fill_not_ready(self):
+        fq = FrameQueue(0, 4, 8)
+        fq.word_arrived(0)
+        fq.word_arrived(1)
+        assert not fq.head_ready()
+
+    def test_out_of_order_within_frame(self):
+        fq = FrameQueue(0, 4, 8)
+        for off in [3, 0, 2, 1]:
+            fq.word_arrived(off)
+        assert fq.head_ready()
+
+    def test_free_head_advances(self):
+        fq = FrameQueue(0, 4, 8)
+        fill_frame(fq, 0)
+        fq.free_head()
+        assert fq.head == 1
+        assert fq.head_offset() == 4
+
+    def test_free_unready_head_raises(self):
+        fq = FrameQueue(0, 4, 8)
+        with pytest.raises(FrameWindowOverflow, match='remem'):
+            fq.free_head()
+
+    def test_counter_shift_on_free(self):
+        fq = FrameQueue(0, 4, 8, num_counters=5)
+        fill_frame(fq, 0)
+        fq.word_arrived(fq.slot_offset(1))  # one word of frame 1
+        fq.free_head()
+        assert fq.counters[0] == 1
+        assert fq.counters[-1] == 0
+
+    def test_interleaved_arrival_across_frames(self):
+        fq = FrameQueue(0, 2, 8)
+        fq.word_arrived(fq.slot_offset(1))  # frame 1 first
+        fq.word_arrived(fq.slot_offset(0))
+        fq.word_arrived(fq.slot_offset(0) + 1)
+        assert fq.head_ready()
+        fq.free_head()
+        fq.word_arrived(fq.slot_offset(1) + 1)
+        assert fq.head_ready()
+
+    def test_window_overflow_detected(self):
+        fq = FrameQueue(0, 2, 8, num_counters=3)
+        # frame 3 is outside the 3-frame window [0, 3)
+        with pytest.raises(FrameWindowOverflow):
+            fq.word_arrived(fq.slot_offset(3))
+
+    def test_overfill_detected(self):
+        fq = FrameQueue(0, 2, 8)
+        fill_frame(fq, 0)
+        with pytest.raises(FrameWindowOverflow, match='more than'):
+            fq.word_arrived(0)
+
+    def test_wraparound_slots(self):
+        fq = FrameQueue(0, 4, 5, num_counters=5)
+        for seq in range(12):
+            fill_frame(fq, seq)
+            assert fq.head_ready()
+            assert fq.head_offset() == (seq % 5) * 4
+            fq.free_head()
+        assert fq.frames_freed == 12
+
+    def test_base_offset_respected(self):
+        fq = FrameQueue(base=100, frame_size=4, num_slots=8)
+        assert fq.slot_offset(0) == 100
+        assert fq.slot_offset(1) == 104
+        fq.word_arrived(100)
+        assert fq.counters[0] == 1
+
+    def test_offset_outside_region_rejected(self):
+        fq = FrameQueue(0, 4, 8)
+        with pytest.raises(ValueError):
+            fq.word_arrived(32)
+
+    def test_too_few_slots_rejected(self):
+        with pytest.raises(ValueError, match='slots'):
+            FrameQueue(0, 4, 3, num_counters=5)
+
+    def test_zero_frame_size_rejected(self):
+        with pytest.raises(ValueError):
+            FrameQueue(0, 0, 8)
+
+
+class TestFrameQueueProperties:
+    @given(frame_size=st.integers(1, 16), num_slots=st.integers(5, 12),
+           nframes=st.integers(1, 40), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_in_order_consumption_any_arrival_order(self, frame_size,
+                                                    num_slots, nframes, data):
+        """Frames are consumed in creation order no matter how words arrive
+        within the window."""
+        fq = FrameQueue(0, frame_size, num_slots, num_counters=5)
+        outstanding = []  # words not yet delivered, per open frame
+        next_frame = 0
+        freed = 0
+        while freed < nframes:
+            can_open = (next_frame < nframes and
+                        next_frame - fq.head < fq.num_counters)
+            choices = []
+            if can_open:
+                choices.append('open')
+            if outstanding:
+                choices.append('deliver')
+            action = data.draw(st.sampled_from(choices))
+            if action == 'open':
+                words = [fq.slot_offset(next_frame) + i
+                         for i in range(frame_size)]
+                outstanding.append(words)
+                next_frame += 1
+            else:
+                fi = data.draw(st.integers(0, len(outstanding) - 1))
+                words = outstanding[fi]
+                wi = data.draw(st.integers(0, len(words) - 1))
+                fq.word_arrived(words.pop(wi))
+                if not words:
+                    outstanding.remove(words)
+            while fq.head_ready() and (not outstanding or
+                                       fq.head < fq.head + 1):
+                # consume head frames as they complete, in order
+                expected_offset = (freed % num_slots) * frame_size
+                assert fq.head_offset() == expected_offset
+                fq.free_head()
+                freed += 1
+                if freed >= nframes:
+                    break
+
+    @given(st.integers(1, 8), st.integers(5, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_total_words_conserved(self, frame_size, num_slots):
+        fq = FrameQueue(0, frame_size, num_slots)
+        for seq in range(7):
+            fill_frame(fq, seq)
+            fq.free_head()
+        assert fq.total_words == 7 * frame_size

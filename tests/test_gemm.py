@@ -1,0 +1,53 @@
+"""End-to-end correctness of the gemm kernel in every configuration."""
+
+import pytest
+
+from repro.harness import run_benchmark
+from repro.kernels.gemm import Gemm
+from repro.manycore import small_config
+
+SMALL = small_config()  # 4x4 mesh keeps tests fast
+
+
+class TestGemmConfigs:
+    @pytest.fixture(scope='class')
+    def bench(self):
+        return Gemm()
+
+    def _run(self, bench, config, **params):
+        p = dict(bench.test_params)
+        p.update(params)
+        return run_benchmark(bench, config, p, base_machine=SMALL)
+
+    def test_nv(self, bench):
+        r = self._run(bench, 'NV')
+        assert r.cycles > 0
+
+    def test_nv_pf(self, bench):
+        r = self._run(bench, 'NV_PF')
+        assert r.cycles > 0
+
+    def test_pcv_pf(self, bench):
+        r = self._run(bench, 'PCV_PF')
+        assert r.cycles > 0
+
+    def test_v4(self, bench):
+        r = self._run(bench, 'V4')
+        assert r.cycles > 0
+
+    def test_v4_bigger(self, bench):
+        r = self._run(bench, 'V4', ni=8, nj=32, nk=12)
+        assert r.cycles > 0
+
+    def test_nv_pf_faster_than_nv(self, bench):
+        p = {'ni': 8, 'nj': 32, 'nk': 16}
+        nv = self._run(bench, 'NV', **p)
+        pf = self._run(bench, 'NV_PF', **p)
+        assert pf.cycles < nv.cycles
+
+    def test_vector_reduces_icache_accesses(self, bench):
+        p = {'ni': 8, 'nj': 32, 'nk': 16}
+        pf = self._run(bench, 'NV_PF', **p)
+        v4 = self._run(bench, 'V4', **p)
+        # per the paper (Fig 10b) vector groups amortize frontend fetches
+        assert v4.icache_accesses < pf.icache_accesses

@@ -1,0 +1,35 @@
+"""End-to-end GPU ports: every benchmark verifies on the SIMT model."""
+
+import pytest
+
+from repro.harness import run_benchmark
+from repro.kernels import registry
+
+
+@pytest.mark.parametrize('bench_cls', registry.ALL, ids=lambda c: c.name)
+def test_gpu_port_matches_reference(bench_cls):
+    bench = bench_cls()
+    r = run_benchmark(bench, 'GPU', bench.test_params)
+    assert r.cycles > 0
+    assert r.config == 'GPU'
+
+
+class TestGpuShape:
+    def test_gpu_likes_compute_bound_kernels(self):
+        """gemm-family fares better on the GPU than bandwidth-bound
+        matvecs (paper Section 6.6)."""
+        def ratio(name):
+            bench = registry.make(name)
+            gpu = run_benchmark(bench, 'GPU', bench.test_params)
+            nv = run_benchmark(bench, 'NV_PF', bench.test_params)
+            return nv.cycles / gpu.cycles
+
+        assert ratio('gemm') > ratio('gramschm')
+
+    def test_kernel_launches_hurt_sequential_algorithms(self):
+        """gramschm pays 3 launches per k on the GPU."""
+        from repro.gpu.config import DEFAULT_GPU
+        bench = registry.make('gramschm')
+        r = run_benchmark(bench, 'GPU', bench.test_params)
+        n = bench.test_params['n']
+        assert r.cycles >= 3 * n * DEFAULT_GPU.kernel_launch_overhead

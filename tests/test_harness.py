@@ -1,0 +1,113 @@
+"""Tests for the configuration registry, runner, and figure plumbing."""
+
+import pytest
+
+from repro.harness import CONFIGS, META_CONFIGS, RunResult, get, \
+    run_benchmark
+from repro.harness.configs import LONG_LINE_BYTES
+from repro.harness.figures import ResultCache, Series, amean, cpi_stack, \
+    geomean
+from repro.kernels import registry
+from repro.manycore import DEFAULT_CONFIG, small_config
+
+
+class TestConfigRegistry:
+    def test_table3_members_present(self):
+        for name in ('NV', 'NV_PF', 'PCV_PF', 'V4', 'V16', 'V4_PCV',
+                     'V16_PCV', 'V4_LL_PCV', 'V16_LL', 'V16_LL_PCV',
+                     'GPU'):
+            assert name in CONFIGS
+
+    def test_long_lines_scale_machine(self):
+        m = get('V16_LL').machine()
+        assert m.cache_line_bytes == LONG_LINE_BYTES
+        assert get('V16').machine().cache_line_bytes == 64
+
+    def test_meta_config_lookup(self):
+        m = get('BEST_V')
+        assert set(m.members) == {'V4', 'V16'}
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get('V99')
+
+    def test_flags_match_table3(self):
+        assert not CONFIGS['NV'].prefetch
+        assert CONFIGS['NV_PF'].prefetch and not CONFIGS['NV_PF'].pcv
+        assert CONFIGS['PCV_PF'].pcv
+        assert CONFIGS['V4'].lanes == 4 and CONFIGS['V16'].lanes == 16
+
+
+class TestRunner:
+    def test_meta_config_picks_fastest(self):
+        bench = registry.make('gemm')
+        r = run_benchmark(bench, 'BEST_V', bench.test_params,
+                          base_machine=small_config())
+        v4 = run_benchmark(bench, 'V4', bench.test_params,
+                           base_machine=small_config())
+        v16 = run_benchmark(bench, 'V16', bench.test_params,
+                            base_machine=small_config(mesh=6))
+        assert r.config == 'BEST_V'
+        assert r.cycles <= v4.cycles
+
+    def test_energy_attached(self):
+        bench = registry.make('gemm')
+        r = run_benchmark(bench, 'NV', bench.test_params,
+                          base_machine=small_config())
+        assert r.energy is not None
+        assert r.energy.on_chip_total > 0
+
+    def test_verification_catches_wrong_results(self):
+        """Corrupting an expected output must fail verification."""
+        import numpy as np
+        bench = registry.make('gemm')
+
+        orig = bench.expected
+
+        def bad_expected(ws, params):
+            out = orig(ws, params)
+            out['C'] = out['C'] + 1.0
+            return out
+
+        bench.expected = bad_expected
+        with pytest.raises(AssertionError):
+            run_benchmark(bench, 'NV', bench.test_params,
+                          base_machine=small_config())
+
+
+class TestFigurePlumbing:
+    def test_geomean_and_amean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert amean([1, 3]) == 2.0
+        assert geomean([]) == 0.0
+
+    def test_series_render_and_mean(self):
+        s = Series('t', ['A', 'B'])
+        s.add('x', 'A', 1.0)
+        s.add('x', 'B', 4.0)
+        s.add('y', 'A', 1.0)
+        s.add('y', 'B', 1.0)
+        text = s.render()
+        assert 'GeoMean' in text and 't' in text
+        assert s.mean_row()['B'] == pytest.approx(2.0)
+
+    def test_series_handles_missing_cells(self):
+        s = Series('t', ['A', 'B'])
+        s.add('x', 'A', 1.0)
+        assert '-' in s.render()
+        assert s.mean_row()['B'] == 0.0
+
+    def test_result_cache_memoizes(self):
+        cache = ResultCache(scale='test')
+        r1 = cache.run('gemm', 'NV')
+        r2 = cache.run('gemm', 'NV')
+        assert r1 is r2
+        r3 = cache.run('gemm', 'NV', active_cores=(0, 1))
+        assert r3 is not r1
+
+    def test_cpi_stack_totals(self):
+        cache = ResultCache(scale='test')
+        r = cache.run('gemm', 'NV_PF')
+        stack = cpi_stack(r)
+        assert stack['issued'] == 1.0
+        assert all(v >= 0 for v in stack.values())

@@ -1,0 +1,188 @@
+"""Unit tests for the mini-ISA: assembler, labels, decode annotations."""
+
+import pytest
+
+from repro.isa import Assembler, disasm, opcodes as op
+from repro.isa.instruction import parse_reg, reg_name
+
+
+class TestRegisters:
+    def test_parse_int_regs(self):
+        assert parse_reg('x0') == 0
+        assert parse_reg('x31') == 31
+
+    def test_parse_fp_regs(self):
+        assert parse_reg('f0') == 32
+        assert parse_reg('f31') == 63
+
+    def test_parse_simd_regs(self):
+        assert parse_reg('v0') == 0
+        assert parse_reg('v7') == 7
+
+    def test_parse_passthrough_int(self):
+        assert parse_reg(17) == 17
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            parse_reg('x32')
+        with pytest.raises(ValueError):
+            parse_reg('v8')
+        with pytest.raises(ValueError):
+            parse_reg('q1')
+
+    def test_reg_name_roundtrip(self):
+        for name in ['x0', 'x5', 'x31', 'f0', 'f17', 'f31']:
+            assert reg_name(parse_reg(name)) == name
+
+
+class TestAssembler:
+    def test_simple_program_length(self):
+        a = Assembler()
+        a.li('x5', 3)
+        a.add('x6', 'x5', 'x5')
+        a.halt()
+        prog = a.finish()
+        assert len(prog) == 3
+
+    def test_forward_label_resolution(self):
+        a = Assembler()
+        a.j('end')
+        a.nop()
+        a.bind('end')
+        a.halt()
+        prog = a.finish()
+        assert prog.instrs[0].imm == 2
+
+    def test_backward_label_resolution(self):
+        a = Assembler()
+        a.bind('top')
+        a.nop()
+        a.j('top')
+        prog = a.finish()
+        assert prog.instrs[1].imm == 0
+
+    def test_unbound_label_raises(self):
+        a = Assembler()
+        a.j('nowhere')
+        with pytest.raises(ValueError, match='unbound'):
+            a.finish()
+
+    def test_double_bind_raises(self):
+        a = Assembler()
+        a.bind('x')
+        with pytest.raises(ValueError, match='twice'):
+            a.bind('x')
+
+    def test_entry_lookup(self):
+        a = Assembler()
+        a.nop()
+        a.bind('kernel')
+        a.halt()
+        prog = a.finish()
+        assert prog.entry('kernel') == 1
+
+    def test_anonymous_labels_unique(self):
+        a = Assembler()
+        l1 = a.label()
+        l2 = a.label()
+        assert l1.name != l2.name
+
+    def test_listing_contains_labels(self):
+        a = Assembler()
+        a.bind('main')
+        a.li('x1', 7)
+        a.halt()
+        listing = a.finish().listing()
+        assert 'main:' in listing
+        assert 'li x1, 7' in listing
+
+
+class TestDecode:
+    def _one(self, emit):
+        a = Assembler()
+        emit(a)
+        return a.finish().instrs[0]
+
+    def test_rrr_reads_writes(self):
+        i = self._one(lambda a: a.add('x3', 'x1', 'x2'))
+        assert set(i.reads) == {1, 2}
+        assert i.writes == (3,)
+
+    def test_x0_excluded_from_tracking(self):
+        i = self._one(lambda a: a.add('x0', 'x0', 'x1'))
+        assert i.reads == (1,)
+        assert i.writes == ()
+
+    def test_fma_reads_dest(self):
+        i = self._one(lambda a: a.fma('f1', 'f2', 'f3'))
+        assert parse_reg('f1') in i.reads
+        assert i.writes == (parse_reg('f1'),)
+
+    def test_store_reads_both(self):
+        i = self._one(lambda a: a.sw('x2', 'x1', 4))
+        assert set(i.reads) == {1, 2}
+        assert i.writes == ()
+
+    def test_load_writes_dest(self):
+        i = self._one(lambda a: a.lw('x5', 'x6', 0))
+        assert i.reads == (6,)
+        assert i.writes == (5,)
+
+    def test_simd_vreg_tracking(self):
+        i = self._one(lambda a: a.vfma4('v1', 'v2', 'v3'))
+        assert set(i.vreads) == {1, 2, 3}
+        assert i.vwrites == (1,)
+
+    def test_vredsum_crosses_files(self):
+        i = self._one(lambda a: a.vredsum4('x4', 'v2'))
+        assert i.vreads == (2,)
+        assert i.writes == (4,)
+
+    def test_branch_reads_no_writes(self):
+        i = self._one(lambda a: a.bne('x1', 'x2', 0))
+        assert set(i.reads) == {1, 2}
+        assert i.writes == ()
+
+    def test_frame_start_writes(self):
+        i = self._one(lambda a: a.frame_start('x8'))
+        assert i.writes == (8,)
+
+
+class TestDisasm:
+    def test_various_formats_do_not_crash(self):
+        a = Assembler()
+        a.li('x1', 5)
+        a.add('x2', 'x1', 'x1')
+        a.fma('f1', 'f2', 'f3')
+        a.lw('x3', 'x2', 8)
+        a.sw('x3', 'x2', 8)
+        a.beq('x1', 'x2', 0)
+        a.vload('x4', 'x5', 0, 4, 1)
+        a.frame_start('x8')
+        a.remem()
+        a.vissue(0)
+        a.vend()
+        a.pred_eq('x1', 'x2')
+        a.vfma4('v1', 'v2', 'v3')
+        a.csrr('x9', op.CSR_TID)
+        a.halt()
+        for inst in a.finish().instrs:
+            text = disasm(inst)
+            assert isinstance(text, str) and text
+
+    def test_opcode_names_unique(self):
+        assert op.name(op.ADD) == 'add'
+        assert op.name(op.VLOAD) == 'vload'
+        assert op.name(op.FRAME_START) == 'frame_start'
+
+
+class TestForRange:
+    def test_emits_loop_structure(self):
+        a = Assembler()
+        with a.for_range('x5', 0, 10):
+            a.addi('x6', 'x6', 1)
+        a.halt()
+        prog = a.finish()
+        ops = [i.op for i in prog.instrs]
+        assert op.BGE in ops
+        assert op.J in ops

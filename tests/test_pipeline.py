@@ -1,0 +1,194 @@
+"""Tile pipeline micro-behaviour: scoreboard, latencies, hazards, bubbles."""
+
+import pytest
+
+from repro.isa import Assembler, opcodes as op
+from repro.manycore import Fabric, small_config
+from tests.conftest import run_single_core
+
+
+def cycles_for(body):
+    _, stats = run_single_core(body)
+    return stats.cycles
+
+
+class TestLatencies:
+    def _dep_chain(self, emit_op, n=10):
+        """Cycles for a dependent chain of n ops (latency exposed)."""
+
+        def body(a):
+            a.li('f1', 1.0)
+            a.li('f2', 1.0)
+            for _ in range(n):
+                emit_op(a)
+
+        return cycles_for(body)
+
+    def test_fp_add_longer_than_int_add(self):
+        fp = self._dep_chain(lambda a: a.fadd('f1', 'f1', 'f2'))
+        i = self._dep_chain(lambda a: a.add('x5', 'x5', 'x6'))
+        assert fp > i
+        # FP ALU latency is 3 (Table 1a): each dependent fadd adds ~3
+        assert fp - i >= 10 * (3 - 1) - 2
+
+    def test_div_is_slow(self):
+        div = self._dep_chain(lambda a: a.div('x5', 'x5', 'x6'), n=5)
+        add = self._dep_chain(lambda a: a.add('x5', 'x5', 'x6'), n=5)
+        assert div > add + 5 * 15  # 20-cycle divider
+
+    def test_independent_ops_pipeline(self):
+        """Independent FP ops issue every cycle (OoO writeback)."""
+
+        def dep(a):
+            a.li('f1', 1.0)
+            a.li('f2', 1.0)
+            for _ in range(12):
+                a.fmul('f1', 'f1', 'f2')   # dependent
+
+        def indep(a):
+            a.li('f1', 1.0)
+            a.li('f2', 1.0)
+            for i in range(12):
+                a.fmul(f'f{3 + i % 8}', 'f1', 'f2')  # independent
+
+        assert cycles_for(indep) < cycles_for(dep)
+
+    def test_waw_hazard_stalls(self):
+        """A write after a pending long write must wait (in-order state)."""
+
+        def body(a):
+            a.li('x5', 100)
+            a.li('x6', 3)
+            a.div('x7', 'x5', 'x6')   # x7 busy for ~20 cycles
+            a.li('x7', 1)             # WAW on x7
+            a.li('x9', 0)
+            a.sw('x7', 'x9', 0)
+
+        fabric, stats = run_single_core(body)
+        assert fabric.memory[0] == 1
+        assert stats.total('stall_scoreboard') > 10
+
+
+class TestBranches:
+    def test_taken_branch_has_bubble(self):
+        def taken(a):
+            for i in range(20):
+                lab = a.label()
+                a.j(lab.name) if False else None
+                a.beq('x0', 'x0', f'.t{i}')
+                a.bind(f'.t{i}')
+
+        def not_taken(a):
+            a.li('x5', 1)
+            for i in range(20):
+                a.beq('x5', 'x0', '.never')
+            a.bind('.never')
+
+        assert cycles_for(taken) > cycles_for(not_taken)
+
+    def test_branch_stall_counted(self):
+        def body(a):
+            with a.for_count('x5', 50):
+                a.nop()
+
+        _, stats = run_single_core(body)
+        assert stats.total('stall_branch') >= 50
+
+
+class TestSpadTiming:
+    def test_spad_load_use_latency(self):
+        def through_spad(a):
+            a.li('x5', 0)
+            a.li('f1', 1.0)
+            for _ in range(20):
+                a.swsp('f1', 'x5', 0)
+                a.lwsp('f1', 'x5', 0)   # dependent spad round trips
+
+        def through_regs(a):
+            a.li('f1', 1.0)
+            for _ in range(40):
+                a.mv('f2', 'f1')
+
+        assert cycles_for(through_spad) > cycles_for(through_regs)
+
+
+class TestStoreBehaviour:
+    def test_stores_do_not_block(self):
+        """Non-blocking stores: issuing many stores costs ~1 cycle each."""
+
+        def body(a):
+            a.li('x5', 0)
+            a.li('x6', 7)
+            for i in range(32):
+                a.sw('x6', 'x5', i)
+
+        c = cycles_for(body)
+        # ~1 issue slot per store (plus cold I-cache fills); a blocking
+        # store would pay ~60+ cycles each (> 2000 total)
+        assert c < 250
+
+    def test_all_stores_land(self):
+        def body(a):
+            a.li('x5', 0)
+            a.li('x6', 7)
+            for i in range(32):
+                a.sw('x6', 'x5', i)
+
+        fabric, _ = run_single_core(body)
+        assert fabric.memory[:32] == [7] * 32
+
+
+class TestICache:
+    def test_miss_penalty_on_cold_code(self):
+        """First pass through a long body misses; the loop then hits."""
+
+        def body(a):
+            with a.for_count('x5', 3):
+                for _ in range(200):
+                    a.nop()
+
+        fabric, stats = run_single_core(body)
+        core = fabric.tiles[0]
+        assert core.icache.misses > 0
+        # after warm-up each instruction is a hit: misses << accesses
+        assert core.icache.misses < core.icache.accesses / 10
+
+    def test_capacity_misses_with_tiny_cache(self):
+        cfg = small_config(icache_capacity_bytes=128)  # 32 instructions
+        fabric = Fabric(cfg)
+
+        def body(a):
+            with a.for_count('x5', 3):
+                for _ in range(100):
+                    a.nop()
+
+        fabric2, _ = run_single_core(body, fabric)
+        assert fabric.tiles[0].icache.misses > 10
+
+
+class TestCsr:
+    def test_coreid_and_ncores(self):
+        fabric = Fabric(small_config())
+        out = fabric.alloc(8)
+        a = Assembler()
+        a.csrr('x1', op.CSR_COREID)
+        a.csrr('x2', op.CSR_NCORES)
+        a.csrr('x3', op.CSR_TID)
+        a.li('x5', out)
+        a.add('x5', 'x5', 'x3')
+        a.sw('x2', 'x5', 0)
+        a.barrier()
+        a.halt()
+        fabric.load_program(a.finish(), active_cores=[3, 7])
+        fabric.run()
+        # two active cores, tids 0 and 1, both report ncores=2
+        assert fabric.read_array(out, 2) == [2, 2]
+
+    def test_unknown_csr_raises(self):
+        from repro.manycore import SimError
+
+        def body(a):
+            a.csrr('x5', 99)
+
+        with pytest.raises(SimError):
+            run_single_core(body)

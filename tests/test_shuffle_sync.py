@@ -1,0 +1,160 @@
+"""Vector-group shuffles and implicit synchronization (paper 2.4 / 4.2).
+
+A shuffle moves data between lanes with remote scratchpad stores.  Because
+lanes run staggered along the inet, a consumer must not read the shuffle
+buffer until every producer has executed its store; the compiler guarantees
+this by spacing the code by at least the instruction-delay bound
+(``emit_sync_pad``).
+"""
+
+import pytest
+
+from repro.core import GroupDescriptor
+from repro.isa import Assembler, opcodes as op
+from repro.kernels.codegen import VectorKernelBuilder, pack_frame_cfg
+from repro.manycore import Fabric, small_config
+
+BUF = 200  # scratchpad offset of the shuffle buffer
+
+
+def build_shuffle_program(fabric, lanes, pad: bool):
+    """Lanes write tid*10 to their right neighbor's spad, sync, read it.
+
+    Group tiles follow the serpentine, so lane core-ids are not contiguous;
+    the build step publishes a lane -> core-id table in global memory (the
+    software side of the "software-defined" configuration).
+    """
+    b = VectorKernelBuilder(fabric, lanes, frame_size=8)
+    out = fabric.alloc(32)
+    lane_core = [float(g.tiles[1 + l])
+                 for g in b.groups for l in range(lanes)]
+    table = fabric.alloc(lane_core)
+    p = b.program()
+
+    def scalar(a, g):
+        a.vissue('.shuf')
+
+    p.vector_phase(scalar)
+
+    def mts(a):
+        a.bind('.shuf')
+        a.csrr('x29', op.CSR_TID)
+        a.csrr('x5', op.CSR_GROUP_SIZE)
+        # neighbor lane = (tid + 1) % lanes -> core id via the table
+        a.addi('x6', 'x29', 1)
+        a.rem('x6', 'x6', 'x5')
+        a.csrr('x7', op.CSR_GROUP_ID)
+        a.mul('x7', 'x7', 'x5')
+        a.add('x7', 'x7', 'x6')
+        a.li('x31', table)
+        a.add('x7', 'x7', 'x31')
+        a.lw('x7', 'x7', 0)           # neighbor's core id
+        a.li('x8', 10)
+        a.mul('x8', 'x8', 'x29')      # value = tid * 10
+        a.li('x9', BUF)
+        a.swrem('x8', 'x7', 'x9')     # remote store into neighbor's spad
+        if pad:
+            b.emit_sync_pad(a)        # the compiler's implicit barrier
+        a.li('x10', BUF)
+        a.lwsp('x11', 'x10', 0)       # read what my left neighbor sent
+        a.li('x12', out)
+        a.add('x12', 'x12', 'x29')
+        a.sw('x11', 'x12', 0)
+        a.vend()
+
+    prog = p.finish(mts)
+    return prog, out, b
+
+
+def expected_shuffle(lanes):
+    # lane i receives from lane (i-1) % lanes: value ((i-1)%lanes)*10
+    return [((i - 1) % lanes) * 10 for i in range(lanes)]
+
+
+class TestShuffle:
+    def test_shuffle_with_sync_pad_is_correct(self):
+        fabric = Fabric(small_config())
+        prog, out, b = build_shuffle_program(fabric, lanes=4, pad=True)
+        fabric.load_program(prog)
+        fabric.run()
+        # every group performed the same shuffle; check group 0's lanes
+        assert fabric.read_array(out, 4) == expected_shuffle(4)
+
+    def test_shuffle_on_wider_group(self):
+        fabric = Fabric(small_config(mesh=6))
+        prog, out, b = build_shuffle_program(fabric, lanes=8, pad=True)
+        fabric.load_program(prog)
+        fabric.run()
+        assert fabric.read_array(out, 8) == expected_shuffle(8)
+
+    def test_sync_pad_length_matches_bound(self):
+        fabric = Fabric(small_config())
+        b = VectorKernelBuilder(fabric, 4, frame_size=8)
+        a = Assembler()
+        b.emit_sync_pad(a)
+        prog = a.finish()
+        nops = sum(1 for i in prog.instrs if i.op == op.NOP)
+        assert nops >= b.sync_bound
+
+    def test_remote_store_lands_in_neighbor_spad(self):
+        """The swrem primitive itself, outside a group."""
+        fabric = Fabric(small_config())
+        a = Assembler()
+        a.csrr('x1', op.CSR_COREID)
+        a.bne('x1', 'x0', 'other')
+        a.li('x5', 123)
+        a.li('x6', 2)
+        a.li('x7', 50)
+        a.swrem('x5', 'x6', 'x7', imm=4)
+        a.barrier()
+        a.halt()
+        a.bind('other')
+        a.barrier()
+        a.halt()
+        fabric.load_program(a.finish(), active_cores=[0, 2])
+        fabric.run()
+        assert fabric.tiles[2].spad.data[54] == 123
+
+
+class TestGatherScatter:
+    def test_lanes_gather_with_word_loads(self):
+        """Paper 2.4: scatter/gather = per-lane word accesses in vector
+        mode, non-blocking through the load queue."""
+        fabric = Fabric(small_config())
+        data = [float(i * i) for i in range(16)]
+        src = fabric.alloc(data)
+        idx = fabric.alloc([3.0, 1.0, 7.0, 2.0, 9.0, 11.0, 5.0, 8.0])
+        out = fabric.alloc(16)
+        b = VectorKernelBuilder(fabric, 4, frame_size=8)
+        p = b.program()
+        p.vector_phase(lambda a, g: a.vissue('.gather'))
+
+        def mts(a):
+            a.bind('.gather')
+            a.csrr('x29', op.CSR_TID)
+            a.csrr('x5', op.CSR_GROUP_ID)
+            a.li('x6', 4)
+            a.mul('x5', 'x5', 'x6')
+            a.add('x5', 'x5', 'x29')      # global lane id
+            a.li('x31', 8)
+            a.slt('x4', 'x5', 'x31')      # only 8 items
+            a.mul('x27', 'x5', 'x4')
+            a.li('x7', idx)
+            a.add('x7', 'x7', 'x27')
+            a.lw('x8', 'x7', 0)           # index (gather step 1)
+            a.li('x9', src)
+            a.add('x9', 'x9', 'x8')
+            a.lw('f1', 'x9', 0)           # data  (gather step 2)
+            a.li('x10', out)
+            a.add('x10', 'x10', 'x27')
+            a.pred_neq('x4', 'x0')
+            a.sw('f1', 'x10', 0)
+            a.pred_eq('x0', 'x0')
+            a.vend()
+
+        fabric.load_program(p.finish(mts))
+        fabric.run()
+        got = fabric.read_array(out, 8)
+        want = [data[int(i)] for i in
+                [3, 1, 7, 2, 9, 11, 5, 8]]
+        assert got == pytest.approx(want)

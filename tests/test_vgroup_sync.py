@@ -1,0 +1,146 @@
+"""Tests for group layout planning, inet queues, and the sync bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (GroupDescriptor, InetQueue, plan_groups,
+                        serpentine_order, utilization)
+from repro.core.sync import (ahead_offset, instruction_delay_bound,
+                             num_active_frames, safe_runahead)
+from repro.core.vgroup import (ROLE_EXPANDER, ROLE_SCALAR, ROLE_VECTOR)
+from repro.manycore.noc import hops_core_to_core
+
+
+class TestSerpentine:
+    @given(st.integers(2, 8), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_consecutive_tiles_are_adjacent(self, w, h):
+        order = serpentine_order(w, h)
+        assert sorted(order) == list(range(w * h))
+        for a, b in zip(order, order[1:]):
+            assert hops_core_to_core(a, b, w) == 1
+
+    def test_8x8_starts_at_origin(self):
+        order = serpentine_order(8, 8)
+        assert order[0] == 0
+        assert order[8] == 15  # second row starts at the right edge
+
+
+class TestGroupPlanning:
+    def test_v4_on_64_cores_matches_paper(self):
+        """Paper Section 6.2: V4 uses 94% of tiles, V16 uses 80%."""
+        groups, idle = plan_groups(8, 8, 4)
+        assert len(groups) == 12
+        assert len(idle) == 4
+        assert abs(utilization(8, 8, 4) - 0.94) < 0.01
+
+    def test_v16_on_64_cores_matches_paper(self):
+        groups, idle = plan_groups(8, 8, 16)
+        assert len(groups) == 3
+        assert len(idle) == 13
+        assert abs(utilization(8, 8, 16) - 0.80) < 0.01
+
+    def test_groups_are_disjoint(self):
+        groups, idle = plan_groups(8, 8, 4)
+        seen = set()
+        for g in groups:
+            for t in g.tiles:
+                assert t not in seen
+                seen.add(t)
+        assert seen.isdisjoint(idle)
+
+    def test_max_groups_respected(self):
+        groups, idle = plan_groups(8, 8, 4, max_groups=3)
+        assert len(groups) == 3
+        assert len(idle) == 64 - 15
+
+    def test_roles(self):
+        g = GroupDescriptor(0, [10, 11, 12, 13])
+        assert g.role_of(10) == ROLE_SCALAR
+        assert g.role_of(11) == ROLE_EXPANDER
+        assert g.role_of(13) == ROLE_VECTOR
+        assert g.scalar == 10
+        assert g.expander == 11
+        assert g.lanes == [11, 12, 13]
+        assert g.num_lanes == 3
+
+    def test_path_successors(self):
+        g = GroupDescriptor(0, [5, 6, 7])
+        assert g.successor(5) == 6
+        assert g.successor(6) == 7
+        assert g.successor(7) == -1
+
+    def test_lane_index_and_hops(self):
+        g = GroupDescriptor(0, [5, 6, 7, 8])
+        assert g.lane_index(6) == 0
+        assert g.lane_index(8) == 2
+        assert g.hop_of(5) == 0
+        assert g.hop_of(8) == 3
+
+
+class TestInetQueue:
+    def test_hop_latency_hides_message_one_cycle(self):
+        q = InetQueue(capacity=2, hop_latency=1)
+        q.push(10, 'inst', 'payload')
+        assert q.peek(10) is None
+        assert q.peek(11) == ('inst', 'payload')
+
+    def test_capacity_enforced(self):
+        q = InetQueue(capacity=2)
+        q.push(0, 'inst', 1)
+        q.push(0, 'inst', 2)
+        assert not q.can_accept()
+        with pytest.raises(RuntimeError):
+            q.push(0, 'inst', 3)
+
+    def test_fifo_order(self):
+        q = InetQueue(capacity=4)
+        q.push(0, 'inst', 'a')
+        q.push(0, 'inst', 'b')
+        assert q.pop(5) == ('inst', 'a')
+        assert q.pop(5) == ('inst', 'b')
+
+    def test_pop_in_flight_raises(self):
+        q = InetQueue(capacity=2, hop_latency=1)
+        q.push(10, 'inst', 'x')
+        with pytest.raises(RuntimeError):
+            q.pop(10)
+
+    def test_next_ready_cycle(self):
+        q = InetQueue()
+        assert q.next_ready_cycle() is None
+        q.push(7, 'inst', 'x')
+        assert q.next_ready_cycle() == 8
+
+
+class TestSyncBounds:
+    def test_delay_bound_formula(self):
+        # 5-tile path, 2-entry queues, 8 buffers, 8 ROB entries
+        assert instruction_delay_bound(5, 2, 8, 8) == 4 * 2 + 8 + 8
+
+    def test_num_active_frames_ceil(self):
+        assert num_active_frames(24, 10) == 3
+        assert num_active_frames(20, 10) == 2
+
+    def test_bad_frame_length_rejected(self):
+        with pytest.raises(ValueError):
+            num_active_frames(10, 0)
+
+    def test_ahead_offset(self):
+        assert ahead_offset(5, 1, 2) == 2
+
+    def test_safe_runahead_clamps_low(self):
+        # tiny microthreads make the paper's formula go negative; we clamp
+        assert safe_runahead(17, 4, max_frames=5, inet_queue=2) >= 1
+
+    def test_safe_runahead_clamps_high(self):
+        # huge microthreads would allow large runahead; the structural cap
+        # (max_frames - inet_queue - 1) still applies
+        r = safe_runahead(3, 1000, max_frames=5, inet_queue=2)
+        assert r == 2
+
+    @given(st.integers(2, 20), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_safe_runahead_always_fits_window(self, tiles, ipf):
+        r = safe_runahead(tiles, ipf, max_frames=5, inet_queue=2)
+        assert 1 <= r <= 5 - 2

@@ -1,0 +1,140 @@
+"""Tests for wide vector-load expansion (paper Sections 2.3.2 / 3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.wide_access import (VloadError, expand_vload, recipients,
+                                    total_words)
+from repro.isa import VL_ALIGNED, VL_GROUP, VL_PREFIX, VL_SELF, VL_SINGLE, \
+    VL_SUFFIX
+
+LANES = [11, 12, 13, 14]
+LINE = 16
+
+
+class TestRecipients:
+    def test_self_targets_requester(self):
+        assert recipients(VL_SELF, 0, LANES, 99) == [99]
+
+    def test_self_works_without_group(self):
+        assert recipients(VL_SELF, 0, [], 7) == [7]
+
+    def test_single_picks_one_lane(self):
+        assert recipients(VL_SINGLE, 2, LANES, 99) == [13]
+
+    def test_group_from_offset(self):
+        assert recipients(VL_GROUP, 0, LANES, 99) == LANES
+        assert recipients(VL_GROUP, 1, LANES, 99) == LANES[1:]
+
+    def test_group_without_lanes_raises(self):
+        with pytest.raises(VloadError):
+            recipients(VL_GROUP, 0, [], 7)
+
+    def test_bad_core_off_raises(self):
+        with pytest.raises(VloadError):
+            recipients(VL_SINGLE, 4, LANES, 99)
+
+
+class TestAlignedExpansion:
+    def test_group_load_scatters_line(self):
+        """Paper Figure 5 (right): group load of fetch width 2."""
+        start, chunks = expand_vload(addr=32, spad_off=100, core_off=0,
+                                     width=4, variant=VL_GROUP,
+                                     part=VL_ALIGNED, lanes=LANES,
+                                     requester=99, line_words=LINE)
+        assert start == 32
+        assert chunks == [(32, 4, 11, 100), (36, 4, 12, 100),
+                          (40, 4, 13, 100), (44, 4, 14, 100)]
+        assert total_words(chunks) == 16
+
+    def test_single_load_one_core(self):
+        """Paper Figure 5 (left): single load."""
+        start, chunks = expand_vload(32, 100, 2, 4, VL_SINGLE, VL_ALIGNED,
+                                     LANES, 99, LINE)
+        assert chunks == [(32, 4, 13, 100)]
+
+    def test_self_load_full_line(self):
+        start, chunks = expand_vload(64, 0, 0, 16, VL_SELF, VL_ALIGNED,
+                                     [], 7, LINE)
+        assert chunks == [(64, 16, 7, 0)]
+
+    def test_aligned_spanning_lines_rejected(self):
+        with pytest.raises(VloadError, match='spans'):
+            expand_vload(40, 0, 0, 4, VL_GROUP, VL_ALIGNED, LANES, 99, LINE)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(VloadError):
+            expand_vload(0, 0, 0, 0, VL_GROUP, VL_ALIGNED, LANES, 99, LINE)
+
+
+class TestUnalignedPairs:
+    def test_prefix_plus_suffix_covers_everything(self):
+        addr = 42  # 10 words into line 2 of 16-word lines
+        pre = expand_vload(addr, 0, 0, 4, VL_GROUP, VL_PREFIX, LANES, 99,
+                           LINE)
+        suf = expand_vload(addr, 0, 0, 4, VL_GROUP, VL_SUFFIX, LANES, 99,
+                           LINE)
+        _, pre_chunks = pre
+        _, suf_chunks = suf
+        # the prefix covers the 6 remaining words of line 2
+        assert total_words(pre_chunks) == 6
+        assert total_words(suf_chunks) == 10
+        # each part touches exactly one line
+        for a, c, _, _ in pre_chunks:
+            assert (a // LINE) == (addr // LINE)
+        for a, c, _, _ in suf_chunks:
+            assert ((a + c - 1) // LINE) == (addr // LINE) + 1
+
+    def test_aligned_pair_suffix_is_noop(self):
+        suf = expand_vload(32, 0, 0, 4, VL_GROUP, VL_SUFFIX, LANES, 99, LINE)
+        assert suf is None
+        pre = expand_vload(32, 0, 0, 4, VL_GROUP, VL_PREFIX, LANES, 99, LINE)
+        assert total_words(pre[1]) == 16
+
+    def test_chunk_destinations_preserved_across_split(self):
+        """Word k goes to lane k//width at offset spad + k%width regardless
+        of how the prefix/suffix split falls."""
+        addr = 45
+        got = {}
+        for part in (VL_PREFIX, VL_SUFFIX):
+            exp = expand_vload(addr, 200, 0, 4, VL_GROUP, part, LANES, 99,
+                               LINE)
+            if exp is None:
+                continue
+            for a, c, core, off in exp[1]:
+                for i in range(c):
+                    got[a + i] = (core, off + i)
+        for k in range(16):
+            assert got[addr + k] == (LANES[k // 4], 200 + k % 4)
+
+
+class TestExpansionProperties:
+    @given(addr=st.integers(0, 200), width=st.integers(1, 8),
+           nlanes=st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_pair_partition_is_exact(self, addr, width, nlanes):
+        """PREFIX + SUFFIX always partition [addr, addr+total) exactly."""
+        lanes = LANES[:nlanes]
+        total = width * nlanes
+        if total > LINE:
+            return
+        covered = []
+        for part in (VL_PREFIX, VL_SUFFIX):
+            exp = expand_vload(addr, 0, 0, width, VL_GROUP, part, lanes, 99,
+                               LINE)
+            if exp is not None:
+                for a, c, _, _ in exp[1]:
+                    covered.extend(range(a, a + c))
+        assert sorted(covered) == list(range(addr, addr + total))
+
+    @given(addr=st.integers(0, 200), width=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_self_prefix_suffix_single_line_each(self, addr, width):
+        for part in (VL_PREFIX, VL_SUFFIX):
+            exp = expand_vload(addr, 0, 0, width, VL_SELF, part, [], 5, LINE)
+            if exp is None:
+                continue
+            lines = set()
+            for a, c, _, _ in exp[1]:
+                lines.update({(a + i) // LINE for i in range(c)})
+            assert len(lines) == 1
