@@ -4,14 +4,23 @@ Commands
 --------
 ``list``
     Show available benchmarks and configurations.
-``run BENCH CONFIG [--scale test|bench]``
+``run BENCH CONFIG [--scale test|bench] [--report OUT.json]
+[--trace OUT.json]``
     Simulate one point, verify against numpy, print cycles/energy.
+    ``--report`` enables telemetry and writes the schema-checked run
+    report; ``--trace`` writes a Perfetto-loadable Chrome trace.
 ``figure NAME``
     Regenerate one paper figure (fig10a, fig10b, fig10c, fig11, fig14a,
     fig15c, fig16, fig17a, bfs).
 ``experiment FILE.json``
     Run a JSON experiment description (see harness/experiments.py and
     examples/experiments/).
+``report FILE.json``
+    Validate a run report against the schema and print its summary
+    (CPI stack, histograms, sample count).
+``compare A.json B.json [--threshold 0.02]``
+    Diff two run reports; exits nonzero when B regresses cycles (or any
+    stall cause) beyond the threshold.
 """
 
 from __future__ import annotations
@@ -40,7 +49,16 @@ def cmd_run(args):
     from .kernels import registry
     bench = registry.make(args.benchmark)
     params = bench.params_for(args.scale)
-    r = run_benchmark(bench, args.config, params)
+    telemetry = tracer = None
+    if args.report or args.trace:
+        from .telemetry import Telemetry
+        telemetry = Telemetry(sample_interval=args.sample_interval,
+                              per_core_samples=args.per_core_samples)
+    if args.trace:
+        from .manycore import Tracer
+        tracer = Tracer(limit=args.trace_limit)
+    r = run_benchmark(bench, args.config, params, telemetry=telemetry,
+                      tracer=tracer)
     print(f'{bench.name} / {r.config}  params={params}')
     print(f'  cycles        {r.cycles}')
     print(f'  instructions  {r.instrs}')
@@ -49,7 +67,41 @@ def cmd_run(args):
         print(f'  energy        {r.energy.on_chip_total / 1e6:.3f} uJ '
               f'on-chip (+{r.energy.dram / 1e6:.3f} uJ DRAM)')
     print('  verified against the numpy reference')
+    if args.report:
+        r.to_json(args.report)
+        print(f'  report        {args.report} (schema-valid)')
+    if args.trace:
+        from .telemetry import write_chrome_trace
+        doc = write_chrome_trace(args.trace, tracer=tracer,
+                                 telemetry=telemetry)
+        print(f'  trace         {args.trace} '
+              f'({len(doc["traceEvents"])} events; load in '
+              f'ui.perfetto.dev)')
     return 0
+
+
+def cmd_report(args):
+    from .telemetry import ReportValidationError, load_report, render_report
+    try:
+        doc = load_report(args.file)
+    except ReportValidationError as exc:
+        print(f'{args.file}: INVALID report: {exc}', file=sys.stderr)
+        return 1
+    print(render_report(doc))
+    return 0
+
+
+def cmd_compare(args):
+    from .telemetry import ReportValidationError, compare_reports, load_report
+    try:
+        a = load_report(args.a)
+        b = load_report(args.b)
+    except ReportValidationError as exc:
+        print(f'invalid report: {exc}', file=sys.stderr)
+        return 1
+    text, regressed = compare_reports(a, b, threshold=args.threshold)
+    print(text)
+    return 2 if regressed else 0
 
 
 FIGURES = {
@@ -91,6 +143,18 @@ def main(argv=None) -> int:
     p.add_argument('benchmark')
     p.add_argument('config')
     p.add_argument('--scale', choices=('test', 'bench'), default='bench')
+    p.add_argument('--report', metavar='OUT.json',
+                   help='enable telemetry; write the run-report artifact')
+    p.add_argument('--trace', metavar='OUT.json',
+                   help='enable telemetry + tracing; write a Perfetto '
+                        '(Chrome trace-event) JSON')
+    p.add_argument('--sample-interval', type=int, default=1000,
+                   metavar='N', help='cycles between interval samples '
+                                     '(default 1000; 0 disables sampling)')
+    p.add_argument('--per-core-samples', action='store_true',
+                   help='record per-core stall deltas in every sample')
+    p.add_argument('--trace-limit', type=int, default=200_000,
+                   help='max traced instructions (default 200000)')
 
     p = sub.add_parser('figure', help='regenerate one paper figure')
     p.add_argument('name', choices=sorted(FIGURES))
@@ -99,9 +163,20 @@ def main(argv=None) -> int:
     p = sub.add_parser('experiment', help='run a JSON experiment file')
     p.add_argument('file')
 
+    p = sub.add_parser('report', help='validate + summarize a run report')
+    p.add_argument('file')
+
+    p = sub.add_parser('compare', help='diff two run reports; nonzero '
+                                       'exit on regression')
+    p.add_argument('a')
+    p.add_argument('b')
+    p.add_argument('--threshold', type=float, default=0.02,
+                   help='relative regression threshold (default 0.02)')
+
     args = parser.parse_args(argv)
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
-            'experiment': cmd_experiment}[args.command](args)
+            'experiment': cmd_experiment, 'report': cmd_report,
+            'compare': cmd_compare}[args.command](args)
 
 
 if __name__ == '__main__':

@@ -30,7 +30,7 @@ class InetQueue:
     """One tile's inet input queue: bounded, with a 1-cycle link delay."""
 
     __slots__ = ('capacity', 'hop_latency', '_q', 'stall_empty',
-                 'stall_full_upstream')
+                 'stall_full_upstream', 'peak_depth')
 
     def __init__(self, capacity: int = 2, hop_latency: int = 1):
         self.capacity = capacity
@@ -38,6 +38,7 @@ class InetQueue:
         self._q = deque()  # entries: (ready_cycle, kind, payload)
         self.stall_empty = 0
         self.stall_full_upstream = 0
+        self.peak_depth = 0  # high-water mark, read by telemetry/reports
 
     def __len__(self):
         return len(self._q)
@@ -49,6 +50,8 @@ class InetQueue:
         if not self.can_accept():
             raise RuntimeError('inet queue overflow (sender must check)')
         self._q.append((now + self.hop_latency, kind, payload))
+        if len(self._q) > self.peak_depth:
+            self.peak_depth = len(self._q)
 
     def peek(self, now: int) -> Optional[Tuple[str, object]]:
         """Head message if it has traversed the link, else None."""

@@ -117,3 +117,15 @@ def expand_vload(addr: int, spad_off: int, core_off: int, width: int,
 
 def total_words(chunks: List[Chunk]) -> int:
     return sum(c[1] for c in chunks)
+
+
+def chunks_per_core(chunks: List[Chunk]) -> dict:
+    """Words delivered to each destination core, ``{core: words}``.
+
+    Used by telemetry to annotate wide-access service-window spans with
+    the scatter pattern (how one line fans out across a vector group).
+    """
+    out: dict = {}
+    for (_addr, count, dest_core, _off) in chunks:
+        out[dest_core] = out.get(dest_core, 0) + count
+    return out

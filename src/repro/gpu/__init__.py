@@ -9,13 +9,19 @@ from .machine import GpuError, GpuMachine, GpuMemSystem, Wavefront
 
 
 def run_gpu_benchmark(bench, params: Dict[str, int], verify: bool = True,
-                      cfg: GpuConfig = DEFAULT_GPU):
-    """Run one benchmark on the GPU model; returns a harness RunResult."""
+                      cfg: GpuConfig = DEFAULT_GPU, telemetry=None):
+    """Run one benchmark on the GPU model; returns a harness RunResult.
+
+    ``telemetry`` attaches to the machine and fills the GPU memory
+    service-time histogram (the fabric-side sampler does not apply).
+    """
     from ..harness.runner import RunResult
     from ..manycore.stats import RunStats
     from .kernels import build_launches
 
     gm = GpuMachine(cfg)
+    if telemetry is not None:
+        telemetry.attach_gpu(gm)
     ws = bench.setup(gm, params)
     launches = build_launches(bench.name, ws, params, cfg)
     for program, entry in launches:
@@ -24,7 +30,8 @@ def run_gpu_benchmark(bench, params: Dict[str, int], verify: bool = True,
         bench.verify(gm, ws, params)
     stats = RunStats()
     stats.cycles = gm.cycle
-    return RunResult(bench.name, 'GPU', gm.cycle, stats)
+    return RunResult(bench.name, 'GPU', gm.cycle, stats,
+                     telemetry=telemetry)
 
 
 __all__ = ['GpuMachine', 'GpuConfig', 'DEFAULT_GPU', 'GpuError',

@@ -131,6 +131,7 @@ class GpuMachine:
         self.mem = GpuMemSystem(cfg)
         self.cycle = 0
         self.total_instrs = 0
+        self.telemetry = None  # optional Telemetry (see repro.telemetry)
 
     # -- Fabric-compatible allocation ----------------------------------------
     def alloc(self, data_or_size, fill=0.0) -> int:
@@ -322,6 +323,8 @@ class GpuMachine:
             lines = np.unique(safe[active] // cfg.line_words) \
                 if active.any() else np.empty(0, dtype=int)
             done = self.mem.access_lines(wf.cu, lines.tolist(), now)
+            if self.telemetry is not None:
+                self.telemetry.on_gpu_mem(done - now)
             self._writeback(wf, rd, values, done)
         elif o == op.SW:
             addrs = (regs[rs1].astype(int) + inst.imm)
@@ -330,7 +333,9 @@ class GpuMachine:
                 safe = np.clip(addrs, 0, len(self.memory) - 1)
                 self.memory[safe[active]] = regs[rs2][active]
                 lines = np.unique(safe[active] // cfg.line_words)
-                self.mem.access_lines(wf.cu, lines.tolist(), now)
+                done = self.mem.access_lines(wf.cu, lines.tolist(), now)
+                if self.telemetry is not None:
+                    self.telemetry.on_gpu_mem(done - now)
 
         elif o == op.VOTE_ANY:
             any_set = bool(np.any(wf.mask & (regs[rs1] != 0)))

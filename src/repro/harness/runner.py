@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from ..kernels.base import Benchmark, VectorParams
@@ -19,6 +20,9 @@ class RunResult:
     cycles: int
     stats: RunStats
     energy: Optional[object] = None  # EnergyBreakdown, filled by harness
+    params: Optional[Dict[str, int]] = None
+    machine: Optional[MachineConfig] = None
+    telemetry: Optional[object] = None  # repro.telemetry.Telemetry
 
     @property
     def icache_accesses(self) -> int:
@@ -28,20 +32,44 @@ class RunResult:
     def instrs(self) -> int:
         return self.stats.total_instrs
 
+    def to_json(self, path: Optional[str] = None) -> dict:
+        """Build the schema-checked run-report artifact.
+
+        Includes final counters always, and interval samples / latency
+        histograms when the run was executed with a
+        :class:`~repro.telemetry.Telemetry` attached.  When ``path`` is
+        given the document is also written there as JSON.
+        """
+        from ..telemetry.report import build_report
+        doc = build_report(self)
+        if path is not None:
+            with open(path, 'w') as f:
+                json.dump(doc, f, indent=1)
+        return doc
+
 
 def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
                   base_machine: Optional[MachineConfig] = None,
                   verify: bool = True,
                   active_cores: Optional[Sequence[int]] = None,
-                  max_cycles: int = 200_000_000) -> RunResult:
+                  max_cycles: int = 200_000_000,
+                  telemetry=None, tracer=None) -> RunResult:
     """Simulate one (benchmark, configuration) pair and verify the output.
 
     ``config`` may be a name, a :class:`Config`, or a :class:`MetaConfig`
     (in which case members run and the fastest result is returned, renamed).
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) and ``tracer`` (a
+    :class:`repro.manycore.Tracer`) attach to the fabric before the run;
+    neither changes simulated timing.
     """
     if isinstance(config, str):
         config = get(config)
     if isinstance(config, MetaConfig):
+        if telemetry is not None or tracer is not None:
+            raise ValueError(
+                f'telemetry/tracing need one concrete configuration, not '
+                f'the meta-config {config.name} (pick one of '
+                f'{", ".join(config.members)})')
         best = None
         errors = []
         for member in config.members:
@@ -57,10 +85,21 @@ def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
             raise ValueError(f'no member of {config.name} is runnable: '
                              + '; '.join(errors))
         return RunResult(best.benchmark, config.name, best.cycles,
-                         best.stats, best.energy)
+                         best.stats, best.energy, best.params, best.machine)
 
     machine = config.machine(base_machine)
+    if config.kind == 'gpu':
+        from ..gpu import run_gpu_benchmark
+        r = run_gpu_benchmark(bench, params, verify=verify,
+                              telemetry=telemetry)
+        r.params = dict(params)
+        return r
+
     fabric = Fabric(machine)
+    if telemetry is not None:
+        telemetry.attach(fabric)
+    if tracer is not None:
+        tracer.attach(fabric)
     ws = bench.setup(fabric, params)
     if config.kind == 'mimd':
         prog = bench.build_mimd(fabric, ws, params,
@@ -72,13 +111,12 @@ def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
         prog = bench.build_vector(fabric, ws, params, vp)
         fabric.load_program(prog, active_cores=active_cores)
         stats = fabric.run(max_cycles=max_cycles)
-    elif config.kind == 'gpu':
-        from ..gpu import run_gpu_benchmark
-        return run_gpu_benchmark(bench, params, verify=verify)
     else:
         raise ValueError(f'unknown config kind {config.kind!r}')
     if verify:
         bench.verify(fabric, ws, params)
     from ..energy import compute_energy
     energy = compute_energy(stats, machine)
-    return RunResult(bench.name, config.name, stats.cycles, stats, energy)
+    return RunResult(bench.name, config.name, stats.cycles, stats, energy,
+                     params=dict(params), machine=machine,
+                     telemetry=telemetry)

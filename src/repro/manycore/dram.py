@@ -42,3 +42,12 @@ class Dram:
         start = max(float(now), self._next_free)
         self._next_free = start + self.transfer_cycles
         self.stats.dram_lines_written += 1
+
+    def backlog(self, now: int) -> float:
+        """Channel busy-time queued beyond ``now`` (telemetry's "tokens").
+
+        Zero when the channel is idle; grows as line transfers pile up
+        faster than the bandwidth drains them — the saturation signal of
+        the paper's scalability study (Figures 11-13).
+        """
+        return max(0.0, self._next_free - now)

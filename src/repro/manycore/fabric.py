@@ -17,7 +17,7 @@ from ..core.vgroup import (GroupDescriptor, ROLE_EXPANDER, ROLE_SCALAR,
 from ..isa.assembler import Program
 from .config import DEFAULT_CONFIG, MachineConfig
 from .dram import Dram
-from .llc import KIND_STORE, LLCBank, MemRequest
+from .llc import KIND_STORE, KIND_WIDE, LLCBank, MemRequest
 from .noc import NocModel
 from .stats import RunStats
 from .tile import INF, RUN, Tile, WAIT_BARRIER
@@ -59,6 +59,7 @@ class Fabric:
         self._active: List[Tile] = []
         self._halted_dirty = False
         self.trace = None  # optional Tracer (see manycore.trace)
+        self.telemetry = None  # optional Telemetry (see repro.telemetry)
 
     # ------------------------------------------------------------- memory setup
     def alloc(self, data_or_size, fill=0.0) -> int:
@@ -110,8 +111,12 @@ class Fabric:
         bank_id = (req.addr // self.cfg.line_words) % self.cfg.llc_banks
         hops = self.noc.bank_hops(req.core, bank_id)
         self.count_hops(hops)
-        arrive = now + self.noc.bank_delay(req.core, bank_id)
-        self.banks[bank_id].access(req, arrive)
+        delay = self.noc.bank_delay(req.core, bank_id)
+        # wide requests are covered by the drain-time NoC derivation
+        # from the wide-access record (see Telemetry._drain_events)
+        if self.telemetry is not None and req.kind != KIND_WIDE:
+            self.telemetry.on_noc_traversal(delay)
+        self.banks[bank_id].access(req, now + delay)
 
     def send_store(self, core: int, addr: int, value, now: int) -> None:
         req = MemRequest(KIND_STORE, addr, 1, core, value=value)
@@ -129,6 +134,9 @@ class Fabric:
                      is_frame: bool) -> None:
         tile = self.tiles[core]
         tile.spad.deliver(offset, values, is_frame)
+        if is_frame and self.telemetry is not None:
+            self.telemetry.on_frame_words(
+                (core, offset, len(values), self.cycle))
         self.wake_tile(tile, self.cycle)
 
     # --------------------------------------------------------------- formation
@@ -215,6 +223,14 @@ class Fabric:
                 t.next_wake = INF
 
     def run(self, max_cycles: int = _MAX_DEFAULT) -> RunStats:
+        tel = self.telemetry
+        sampler = None
+        next_sample = INF
+        if tel is not None:
+            tel.attach(self)  # idempotent; binds the sampler's baselines
+            sampler = tel.sampler
+            if sampler is not None:
+                next_sample = sampler.next_due
         heap = self._heap
         active = [t for t in self._active if not t.halted]
         while active:
@@ -230,6 +246,9 @@ class Fabric:
                 raise SimulationTimeout(
                     f'exceeded {max_cycles} cycles at cycle {self.cycle}')
             self.cycle = now
+            if now >= next_sample:
+                sampler.take(now)
+                next_sample = sampler.next_due
             while heap and heap[0][0] <= now:
                 _, _, fn = heapq.heappop(heap)
                 fn(now)
@@ -243,7 +262,13 @@ class Fabric:
         self._drain()
         self.run_stats.cycles = self.cycle
         for t in self.tiles:
-            t.stats.cycles = self.cycle
+            # a core issuing at the final cycle index C occupies cycle
+            # slot C, so the per-core elapsed count is C+1 slots; this
+            # keeps cycles == instrs + stall_total() + idle() exact
+            # (the headline run_stats.cycles keeps the last-index form)
+            t.stats.cycles = self.cycle + 1
+        if tel is not None:
+            tel.finalize(self.cycle)
         return self.run_stats
 
     def _drain(self) -> None:

@@ -26,7 +26,7 @@ class MemRequest:
     """One request from a core to an LLC bank."""
 
     __slots__ = ('kind', 'addr', 'nwords', 'core', 'chunks', 'on_data',
-                 'value', 'is_frame')
+                 'value', 'is_frame', 't_issue')
 
     def __init__(self, kind: int, addr: int, nwords: int, core: int,
                  chunks=None, on_data: Optional[Callable] = None,
@@ -39,6 +39,7 @@ class MemRequest:
         self.on_data = on_data
         self.value = value
         self.is_frame = is_frame
+        self.t_issue = None  # issue cycle, set only when telemetry is on
 
 
 class LLCBank:
@@ -56,6 +57,7 @@ class LLCBank:
         self.noc_width = cfg.noc_width_words
         # per-set MRU-ordered list of line ids (front = most recent)
         self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._resident = 0  # total lines across sets (occupancy telemetry)
         self._dirty = set()
         self._mshr: Dict[int, List[MemRequest]] = {}
         self._req_free = 0.0
@@ -82,16 +84,21 @@ class LLCBank:
             if victim in self._dirty:
                 self._dirty.discard(victim)
                 self.fabric.dram.write_line(now)
+        else:
+            self._resident += 1
         s.insert(0, line)
 
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._resident
 
     # -- request handling -------------------------------------------------------
     def access(self, req: MemRequest, arrive: int) -> None:
         """Accept a request; the bank port serializes at 1/cycle."""
         start = max(float(arrive), self._req_free)
         self._req_free = start + 1.0
+        tel = self.fabric.telemetry
+        if tel is not None:
+            tel.on_llc_queue(start - arrive)
         t = int(math.ceil(start)) + self.hit_latency
         self.stats.llc_accesses += 1
         if req.kind == KIND_WIDE:
@@ -116,6 +123,8 @@ class LLCBank:
 
     def _complete(self, req: MemRequest, ready: int) -> None:
         mem = self.fabric.memory
+        noc = self.fabric.noc
+        tel = self.fabric.telemetry
         if req.kind == KIND_STORE:
             mem[req.addr] = req.value
             self._dirty.add(req.addr // self.line_words)
@@ -125,13 +134,21 @@ class LLCBank:
             self.stats.llc_word_reads += 1
             emit = self._emit_slot(ready)
             value = mem[req.addr]
-            hops = self.fabric.noc.bank_hops(req.core, self.bank_id)
-            arrival = emit + hops * self.cfg.router_hop_latency + 1
+            hops = noc.bank_hops(req.core, self.bank_id)
+            delay = noc.delay_for_hops(hops)
+            arrival = emit + delay
             self.fabric.count_hops(hops)
+            if tel is not None:
+                tel.on_noc_traversal(delay)
             self.fabric.post(arrival,
                              lambda now, r=req, v=value: r.on_data(v, now))
             return
-        # wide access: serialized response packets per chunk
+        # wide access: serialized response packets per chunk.  NoC
+        # traversal telemetry for these packets is *derived at drain
+        # time* from the chunk list (delays are a pure function of
+        # (dest core, bank)), so the hot loop carries no probes.
+        last_emit = ready
+        last_arrival = ready
         for (addr, count, dest_core, dest_off) in req.chunks:
             self.stats.llc_word_reads += count
             sent = 0
@@ -139,14 +156,22 @@ class LLCBank:
                 n = min(self.noc_width, count - sent)
                 emit = self._emit_slot(ready)
                 values = mem[addr + sent:addr + sent + n]
-                hops = self.fabric.noc.bank_hops(dest_core, self.bank_id)
-                arrival = emit + hops * self.cfg.router_hop_latency + 1
+                hops = noc.bank_hops(dest_core, self.bank_id)
+                delay = noc.delay_for_hops(hops)
+                arrival = emit + delay
                 self.fabric.count_hops(hops * n)
                 self.fabric.post(
                     arrival,
                     lambda now, c=dest_core, o=dest_off + sent, v=values, \
                         fr=req.is_frame: self.fabric.spad_deliver(c, o, v, fr))
                 sent += n
+                if emit > last_emit:
+                    last_emit = emit
+                if arrival > last_arrival:
+                    last_arrival = arrival
+        if tel is not None:
+            tel.on_wide_served((req, ready, last_emit, last_arrival,
+                                self.bank_id))
 
     def _emit_slot(self, ready: int) -> int:
         """Claim one cycle of the response port; returns the emit cycle."""

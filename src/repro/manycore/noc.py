@@ -66,9 +66,24 @@ class NocModel:
     def bank_hops(self, core_id: int, bank_id: int) -> int:
         return self._core_bank[core_id][bank_id]
 
+    def delay_for_hops(self, hops: int) -> int:
+        """One-way latency of a ``hops``-hop traversal (plus injection).
+
+        Shared by the request path, the response path, and remote stores
+        so the telemetry's NoC-traversal histogram sees the same numbers
+        the timing model charges.
+        """
+        return hops * self.hop_latency + 1
+
     def bank_delay(self, core_id: int, bank_id: int) -> int:
         """One-way latency core <-> bank (hops plus injection)."""
-        return self._core_bank[core_id][bank_id] * self.hop_latency + 1
+        return self.delay_for_hops(self._core_bank[core_id][bank_id])
 
     def core_delay(self, a: int, b: int) -> int:
-        return hops_core_to_core(a, b, self.width) * self.hop_latency + 1
+        return self.delay_for_hops(hops_core_to_core(a, b, self.width))
+
+    def describe(self) -> dict:
+        """Mesh geometry metadata for run reports and trace headers."""
+        return {'width': self.width, 'height': self.height,
+                'llc_banks': self.num_banks,
+                'hop_latency': self.hop_latency}

@@ -8,8 +8,13 @@ output full), and ``other`` (scoreboard, load-queue, branch bubbles, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable
+
+#: stall-cause fields, in CPI-stack presentation order
+STALL_CAUSES = ('stall_frame', 'stall_inet_input', 'stall_backpressure',
+                'stall_scoreboard', 'stall_loadq', 'stall_branch',
+                'stall_other')
 
 
 @dataclass
@@ -50,6 +55,17 @@ class CoreStats:
         return (self.stall_frame + self.stall_inet_input +
                 self.stall_backpressure + self.stall_scoreboard +
                 self.stall_loadq + self.stall_branch + self.stall_other)
+
+    def idle(self) -> int:
+        """Cycles neither issuing nor attributed to a stall cause.
+
+        For a halted or never-activated core this is most of the run;
+        for an active core it is the pre-formation / post-halt slack.
+        The taxonomy invariant ``cycles == instrs + stall_total() +
+        idle()`` with ``idle() >= 0`` is what guards the CPI-stack
+        figures against attribution drift (tested).
+        """
+        return self.cycles - self.instrs - self.stall_total()
 
 
 @dataclass
@@ -92,11 +108,45 @@ class RunStats:
     def total_icache_accesses(self) -> int:
         return self.total('icache_accesses')
 
+    def stall_breakdown(self) -> Dict[str, int]:
+        """Aggregate stall cycles by cause across every core."""
+        return {cause: self.total(cause) for cause in STALL_CAUSES}
+
     def summary(self) -> str:
         lines = [f'cycles: {self.cycles}',
                  f'instructions: {self.total_instrs}',
                  f'icache accesses: {self.total_icache_accesses}',
                  f'LLC accesses: {self.mem.llc_accesses} '
                  f'(miss rate {self.mem.miss_rate:.3f})',
-                 f'DRAM lines read: {self.mem.dram_lines_read}']
+                 f'DRAM lines read: {self.mem.dram_lines_read}',
+                 f'NoC word-hops: {self.noc_word_hops}']
+        breakdown = self.stall_breakdown()
+        total_stall = sum(breakdown.values())
+        lines.append(f'stall cycles: {total_stall}')
+        for cause, v in breakdown.items():
+            lines.append(f'  {cause[len("stall_"):]:<13s} {v}')
         return '\n'.join(lines)
+
+    @classmethod
+    def merge(cls, runs: Iterable['RunStats']) -> 'RunStats':
+        """Aggregate several runs (a sweep) into one summed RunStats.
+
+        Every counter — including per-core entries, matched by core id —
+        is summed; ``cycles`` accumulates total simulated cycles across
+        the runs.
+        """
+        out = cls()
+        core_fields = [f.name for f in fields(CoreStats)]
+        mem_fields = [f.name for f in fields(MemStats)]
+        for r in runs:
+            out.cycles += r.cycles
+            out.noc_word_hops += r.noc_word_hops
+            for name in mem_fields:
+                setattr(out.mem, name,
+                        getattr(out.mem, name) + getattr(r.mem, name))
+            for cid, cs in r.cores.items():
+                acc = out.cores.setdefault(cid, CoreStats())
+                for name in core_fields:
+                    setattr(acc, name,
+                            getattr(acc, name) + getattr(cs, name))
+        return out

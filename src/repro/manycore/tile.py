@@ -244,6 +244,9 @@ class Tile:
                 self.stats.microthreads += 1
                 self._charge_gap(now, 'inet_input')
                 self._fetch_pc = -1
+                tel = self.fabric.telemetry
+                if tel is not None:
+                    tel.on_mt_launch((self.core_id, now, payload))
                 return now + 1
             raise SimError(f'expander received unexpected inet message '
                            f'{kind!r}')
@@ -275,6 +278,9 @@ class Tile:
             self.stats.inet_forwards += 1
         if o == op.VEND:
             self.in_mt = False
+            tel = self.fabric.telemetry
+            if tel is not None:
+                tel.on_mt_end((self.core_id, now))
             return now + 1
         if op.is_control(o):
             self._execute_control_mt(inst, now)
@@ -577,9 +583,16 @@ class Tile:
             if fq is None:
                 raise SimError(f'frame_start with no frame config '
                                f'(core {self.core_id})')
+            tel = self.fabric.telemetry
+            if tel is not None:
+                tel.on_frame_start((self.core_id, fq.head, now))
             self._writeback(inst.rd, fq.head_offset(), wb)
         elif o == op.REMEM:
-            self.spad.frames.free_head()
+            fq = self.spad.frames
+            tel = self.fabric.telemetry
+            if tel is not None:
+                tel.on_frame_free((self.core_id, fq.head, 0, now))
+            fq.free_head()
             self.stats.frames_consumed += 1
         elif o == op.PRED_EQ:
             self.pred = regs[inst.rs1] == regs[inst.rs2]
@@ -670,6 +683,8 @@ class Tile:
         nwords = sum(c[1] for c in chunks)
         req = MemRequest(KIND_WIDE, start, nwords, self.core_id,
                          chunks=chunks, is_frame=True)
+        if self.fabric.telemetry is not None:
+            req.t_issue = now
         self.fabric.send_to_bank(req, now)
 
     # ------------------------------------------------------------------- CSRs
@@ -678,8 +693,10 @@ class Tile:
             v = int(value)
             frame_size = v & 0xFFF
             slots = (v >> 12) & 0xFFF
-            self.spad.configure_frames(frame_size, slots,
-                                       self.cfg.frame_counters)
+            fq = self.spad.configure_frames(frame_size, slots,
+                                            self.cfg.frame_counters)
+            if self.fabric.telemetry is not None:
+                self.fabric.telemetry.watch_frames(self.core_id, fq)
         elif csr == op.CSR_VCONFIG:
             pass  # modeled via the VCONFIG instruction
         else:

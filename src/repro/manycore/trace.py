@@ -46,7 +46,8 @@ class Tracer:
         self.stop = stop
         self.limit = limit
         self.entries: List[TraceEntry] = []
-        self.dropped = 0
+        self.dropped = 0   # hit the entry limit
+        self.filtered = 0  # failed the core/cycle filters
 
     def attach(self, fabric) -> 'Tracer':
         fabric.trace = self
@@ -55,8 +56,10 @@ class Tracer:
     def record(self, core: int, cycle: int, inst: Instr,
                mode: int) -> None:
         if self.cores is not None and core not in self.cores:
+            self.filtered += 1
             return
         if not self.start <= cycle < self.stop:
+            self.filtered += 1
             return
         if len(self.entries) >= self.limit:
             self.dropped += 1
@@ -69,6 +72,9 @@ class Tracer:
         if self.dropped:
             lines.append(f'... {self.dropped} entries dropped (limit '
                          f'{self.limit})')
+        if self.filtered:
+            lines.append(f'... {self.filtered} entries filtered '
+                         f'(core/cycle filters)')
         return '\n'.join(lines)
 
     def per_core(self, core: int) -> List[TraceEntry]:

@@ -1,0 +1,39 @@
+"""Telemetry: interval sampling, latency histograms, traces, run reports.
+
+The observability layer the perf roadmap depends on.  Everything is
+off-by-default and observation-only: attaching a :class:`Telemetry` to a
+fabric never changes simulated cycle counts (the probes read state; they
+post no events), and an unattached fabric pays a single ``None`` check
+per probe site.
+
+Quick start::
+
+    from repro.telemetry import Telemetry
+    from repro.harness import run_benchmark
+
+    tel = Telemetry(sample_interval=1000)
+    r = run_benchmark(bench, 'V4', params, telemetry=tel)
+    doc = r.to_json('out.json')           # schema-checked report artifact
+
+See ``docs/telemetry.md`` for the sampler/histogram/trace/report tour.
+"""
+
+from .histogram import Log2Histogram, merge_histograms
+from .probes import (HIST_FRAME, HIST_GPU_MEM, HIST_LLC_QUEUE, HIST_NOC,
+                     HIST_VLOAD, HISTOGRAM_NAMES, Telemetry)
+from .report import (REPORT_SCHEMA, SCHEMA_VERSION, ReportValidationError,
+                     build_report, compare_reports, load_report,
+                     render_report, validate_report)
+from .sampler import Sample, Sampler, STALL_FIELDS
+from .spans import CAT_FRAME, CAT_MICROTHREAD, CAT_WIDE, Span, SpanRecorder
+from .trace_export import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    'Telemetry', 'Log2Histogram', 'merge_histograms', 'Sampler', 'Sample',
+    'STALL_FIELDS', 'Span', 'SpanRecorder', 'CAT_FRAME', 'CAT_MICROTHREAD',
+    'CAT_WIDE', 'HIST_VLOAD', 'HIST_FRAME', 'HIST_LLC_QUEUE', 'HIST_NOC',
+    'HIST_GPU_MEM', 'HISTOGRAM_NAMES', 'to_chrome_trace',
+    'write_chrome_trace', 'build_report', 'validate_report', 'load_report',
+    'render_report', 'compare_reports', 'ReportValidationError',
+    'REPORT_SCHEMA', 'SCHEMA_VERSION',
+]

@@ -1,0 +1,81 @@
+"""Span (interval) events for trace export.
+
+A span is a named ``[start, end)`` cycle window on one core's timeline:
+a microthread lifetime on the expander, a DAE frame's occupancy between
+its first arriving word and the ``remem`` that frees it, or the window
+an LLC bank spends serving one wide access.  Spans are collected flat
+(no nesting bookkeeping) and rendered into Chrome-trace/Perfetto events
+by :mod:`repro.telemetry.trace_export`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+CAT_MICROTHREAD = 'microthread'
+CAT_FRAME = 'frame'
+CAT_WIDE = 'wide_access'
+
+
+class Span:
+    """One closed interval event."""
+
+    __slots__ = ('name', 'cat', 'core', 'start', 'end', 'args')
+
+    def __init__(self, name: str, cat: str, core: int, start: int,
+                 end: int, args: Optional[dict] = None):
+        self.name = name
+        self.cat = cat
+        self.core = core
+        self.start = start
+        self.end = end
+        self.args = args
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self):
+        return (f'Span({self.name!r}, cat={self.cat}, core={self.core}, '
+                f'[{self.start}, {self.end}))')
+
+
+class SpanRecorder:
+    """Bounded flat store of finished spans.
+
+    ``add()`` runs inside the simulator's hot paths, so it only appends
+    a raw tuple; :class:`Span` objects are materialized lazily on first
+    access to :attr:`spans` (and cached until the next ``add``).
+    """
+
+    def __init__(self, limit: int = 1_000_000):
+        self.limit = limit
+        self._raw: List[tuple] = []
+        self._spans: Optional[List[Span]] = None
+        self.dropped = 0
+
+    def add(self, name: str, cat: str, core: int, start: int, end: int,
+            args: Optional[dict] = None) -> None:
+        if len(self._raw) >= self.limit:
+            self.dropped += 1
+            return
+        self._raw.append((name, cat, core, start, end, args))
+        self._spans = None
+
+    @property
+    def spans(self) -> List[Span]:
+        if self._spans is None:
+            self._spans = [Span(*r) for r in self._raw]
+        return self._spans
+
+    def by_category(self, cat: str) -> List[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for r in self._raw:
+            out[r[1]] = out.get(r[1], 0) + 1
+        return out
+
+    def __len__(self):
+        return len(self._raw)

@@ -1,0 +1,146 @@
+"""Chrome trace-event JSON export, loadable in Perfetto (ui.perfetto.dev).
+
+One simulated cycle maps to one microsecond of trace time (Perfetto's
+track viewer is happiest in us).  Layout:
+
+* one track (``tid``) per core, named ``c03 [scalar]`` after the most
+  privileged role the core held during the run (scalar > expander >
+  vector > independent), so vector-group structure is visible at a
+  glance;
+* issued instructions (from an attached debug ``Tracer``) as 1-cycle
+  complete events, microthread lifetimes as enclosing complete events
+  on the expander/lane tracks;
+* DAE frame occupancy and LLC wide-access service windows as async
+  (``b``/``e``) events, since several frames are open concurrently and
+  async events may overlap freely;
+* interval samples as Perfetto counter tracks (``C`` events): the CPI
+  stack causes, LLC occupancy, and DRAM backlog over time.
+
+The format is the documented Trace Event JSON object form:
+``{"traceEvents": [...], "displayTimeUnit": "ms"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..core.vgroup import (ROLE_EXPANDER, ROLE_INDEPENDENT, ROLE_NAMES,
+                           ROLE_SCALAR, ROLE_VECTOR)
+from ..core.wide_access import chunks_per_core
+from .spans import CAT_MICROTHREAD
+
+#: pid used for every fabric track (one simulated process).
+PID = 0
+
+#: role priority for naming a core's track (higher wins)
+_ROLE_RANK = {ROLE_INDEPENDENT: 0, ROLE_VECTOR: 1, ROLE_EXPANDER: 2,
+              ROLE_SCALAR: 3}
+
+
+def _core_roles(tracer, telemetry) -> dict:
+    """Best-known role per core, from trace entries and span categories."""
+    roles: dict = {}
+
+    def bump(core, role):
+        if core not in roles or _ROLE_RANK[role] > _ROLE_RANK[roles[core]]:
+            roles[core] = role
+
+    if tracer is not None:
+        for e in tracer.entries:
+            bump(e.core, e.mode)
+    if telemetry is not None:
+        for s in telemetry.spans.spans:
+            if s.cat == CAT_MICROTHREAD:
+                bump(s.core, ROLE_EXPANDER)
+    return roles
+
+
+def to_chrome_trace(tracer=None, telemetry=None,
+                    fabric=None) -> dict:
+    """Build the trace document from any subset of the three sources."""
+    events: List[dict] = []
+    roles = _core_roles(tracer, telemetry)
+    if fabric is not None:
+        # prefer the fabric's final role assignment where it is specific
+        for t in fabric.tiles:
+            if t.mode != ROLE_INDEPENDENT:
+                roles[t.core_id] = t.mode
+
+    cores = set(roles)
+    if tracer is not None:
+        cores.update(e.core for e in tracer.entries)
+    if telemetry is not None:
+        cores.update(s.core for s in telemetry.spans.spans)
+
+    for core in sorted(cores):
+        role = ROLE_NAMES[roles.get(core, ROLE_INDEPENDENT)]
+        events.append({'ph': 'M', 'pid': PID, 'tid': core,
+                       'name': 'thread_name',
+                       'args': {'name': f'c{core:02d} [{role}]'}})
+        events.append({'ph': 'M', 'pid': PID, 'tid': core,
+                       'name': 'thread_sort_index',
+                       'args': {'sort_index': core}})
+    events.append({'ph': 'M', 'pid': PID, 'tid': 0, 'name': 'process_name',
+                   'args': {'name': 'repro fabric'}})
+
+    # -- microthread spans first so instruction events nest inside them ------
+    if telemetry is not None:
+        next_async = 0
+        for s in telemetry.spans.spans:
+            args = dict(s.args) if s.args else {}
+            args['core'] = s.core
+            chunks = args.pop('chunks', None)
+            if chunks:
+                args['per_core_words'] = {
+                    str(c): w for c, w in chunks_per_core(chunks).items()}
+            if s.cat == CAT_MICROTHREAD:
+                events.append({'ph': 'X', 'pid': PID, 'tid': s.core,
+                               'ts': s.start, 'dur': max(1, s.duration),
+                               'name': s.name, 'cat': s.cat, 'args': args})
+            else:
+                next_async += 1
+                ident = f'{s.cat}-{next_async}'
+                common = {'pid': PID, 'tid': s.core, 'cat': s.cat,
+                          'name': s.name, 'id': ident}
+                events.append({'ph': 'b', 'ts': s.start, 'args': args,
+                               **common})
+                events.append({'ph': 'e', 'ts': max(s.end, s.start + 1),
+                               **common})
+
+    # -- issued instructions --------------------------------------------------
+    if tracer is not None:
+        for e in tracer.entries:
+            events.append({'ph': 'X', 'pid': PID, 'tid': e.core,
+                           'ts': e.cycle, 'dur': 1,
+                           'name': e.text.split()[0], 'cat': 'instr',
+                           'args': {'asm': e.text,
+                                    'role': ROLE_NAMES.get(e.mode, '?')}})
+
+    # -- interval samples as counter tracks -----------------------------------
+    if telemetry is not None and telemetry.sampler is not None:
+        for s in telemetry.sampler.samples:
+            if s.stalls or s.issued:
+                stack = {'issued': s.issued}
+                stack.update(s.stalls)
+                events.append({'ph': 'C', 'pid': PID, 'ts': s.cycle,
+                               'name': 'cpi_stack', 'args': stack})
+            events.append({'ph': 'C', 'pid': PID, 'ts': s.cycle,
+                           'name': 'llc_occupancy',
+                           'args': {'lines': s.llc_lines}})
+            events.append({'ph': 'C', 'pid': PID, 'ts': s.cycle,
+                           'name': 'dram_backlog',
+                           'args': {'cycles': s.dram_backlog}})
+
+    return {'traceEvents': events, 'displayTimeUnit': 'ms',
+            'otherData': {'producer': 'repro.telemetry',
+                          'time_unit': '1us == 1 cycle'}}
+
+
+def write_chrome_trace(path: str, tracer=None, telemetry=None,
+                       fabric=None) -> dict:
+    """Serialize the trace document to ``path``; returns the document."""
+    doc = to_chrome_trace(tracer=tracer, telemetry=telemetry, fabric=fabric)
+    with open(path, 'w') as f:
+        json.dump(doc, f)
+    return doc

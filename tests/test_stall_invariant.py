@@ -1,0 +1,50 @@
+"""Stall-taxonomy accounting invariant.
+
+Every cycle of every core must be attributable: it either issued an
+instruction, was charged to exactly one stall cause, or was idle
+(pre-formation / post-halt / never activated).  ``idle() >= 0`` is the
+teeth of the invariant — over-attribution (a cycle charged to two
+causes, or a stall overlapping an issue) drives it negative.
+"""
+
+import pytest
+
+from repro.harness import run_benchmark
+from repro.kernels import registry
+from repro.manycore import small_config
+from repro.manycore.stats import STALL_CAUSES
+
+
+def check_taxonomy(stats):
+    assert stats.cores, 'run produced no per-core stats'
+    for cid, cs in stats.cores.items():
+        total = cs.stall_total()
+        # stall_total() really is the sum of the taxonomy fields
+        assert total == sum(getattr(cs, c) for c in STALL_CAUSES)
+        assert cs.idle() >= 0, (
+            f'core {cid}: over-attributed — cycles={cs.cycles} '
+            f'instrs={cs.instrs} stalls={total}')
+        assert cs.cycles == cs.instrs + total + cs.idle()
+        for cause in STALL_CAUSES:
+            assert getattr(cs, cause) >= 0, f'core {cid}: {cause} negative'
+
+
+@pytest.mark.parametrize('config', ['NV', 'NV_PF', 'V4'])
+@pytest.mark.parametrize('bench_name', ['gemm', 'mvt'])
+def test_stall_taxonomy_invariant(config, bench_name):
+    bench = registry.make(bench_name)
+    params = bench.params_for('test')
+    r = run_benchmark(bench, config, params, base_machine=small_config())
+    check_taxonomy(r.stats)
+    # an active configuration must attribute *some* stall cycles somewhere
+    assert sum(r.stats.stall_breakdown().values()) > 0
+
+
+def test_active_cores_do_issue():
+    bench = registry.make('gemm')
+    params = bench.params_for('test')
+    r = run_benchmark(bench, 'V4', params, base_machine=small_config())
+    active = [cs for cs in r.stats.cores.values() if cs.instrs > 0]
+    assert active
+    for cs in active:
+        assert cs.cycles >= cs.instrs

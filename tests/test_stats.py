@@ -1,0 +1,87 @@
+"""RunStats: summary text, stall breakdown, and cross-run merge."""
+
+import dataclasses
+
+from repro.harness import run_benchmark
+from repro.kernels import registry
+from repro.manycore import small_config
+from repro.manycore.stats import (STALL_CAUSES, CoreStats, MemStats,
+                                  RunStats)
+
+
+def run_gemm(config='V4'):
+    bench = registry.make('gemm')
+    params = bench.params_for('test')
+    return run_benchmark(bench, config, params, base_machine=small_config())
+
+
+class TestSummary:
+    def test_summary_includes_full_stall_taxonomy(self):
+        r = run_gemm()
+        text = r.stats.summary()
+        for cause in STALL_CAUSES:
+            assert cause[len('stall_'):] in text, cause
+        assert 'stall cycles:' in text
+
+    def test_summary_includes_noc_word_hops(self):
+        r = run_gemm()
+        assert f'NoC word-hops: {r.stats.noc_word_hops}' in \
+            r.stats.summary()
+        assert r.stats.noc_word_hops > 0
+
+    def test_stall_breakdown_matches_cores(self):
+        r = run_gemm()
+        breakdown = r.stats.stall_breakdown()
+        assert set(breakdown) == set(STALL_CAUSES)
+        for cause, total in breakdown.items():
+            assert total == sum(getattr(c, cause)
+                                for c in r.stats.cores.values())
+
+
+class TestMerge:
+    def make(self, cid, **kw):
+        rs = RunStats(cycles=kw.pop('cycles', 10))
+        rs.noc_word_hops = kw.pop('noc_word_hops', 0)
+        rs.mem = MemStats(**{k: v for k, v in kw.items()
+                             if k in {f.name for f in
+                                      dataclasses.fields(MemStats)}})
+        core_kw = {k: v for k, v in kw.items()
+                   if k in {f.name for f in dataclasses.fields(CoreStats)}}
+        rs.cores[cid] = CoreStats(**core_kw)
+        return rs
+
+    def test_merge_sums_everything(self):
+        a = self.make(0, cycles=100, instrs=40, stall_frame=5,
+                      llc_accesses=7, noc_word_hops=11)
+        b = self.make(0, cycles=50, instrs=10, stall_frame=2,
+                      llc_accesses=3, noc_word_hops=4)
+        m = RunStats.merge([a, b])
+        assert m.cycles == 150
+        assert m.noc_word_hops == 15
+        assert m.mem.llc_accesses == 10
+        assert m.cores[0].instrs == 50
+        assert m.cores[0].stall_frame == 7
+
+    def test_merge_matches_cores_by_id(self):
+        a = self.make(0, instrs=5)
+        b = self.make(3, instrs=7)
+        m = RunStats.merge([a, b])
+        assert set(m.cores) == {0, 3}
+        assert m.cores[0].instrs == 5
+        assert m.cores[3].instrs == 7
+
+    def test_merge_of_real_runs(self):
+        r1, r2 = run_gemm('V4'), run_gemm('NV')
+        m = RunStats.merge([r1.stats, r2.stats])
+        assert m.total_instrs == \
+            r1.stats.total_instrs + r2.stats.total_instrs
+        assert m.mem.llc_accesses == \
+            r1.stats.mem.llc_accesses + r2.stats.mem.llc_accesses
+        for cause in STALL_CAUSES:
+            assert m.stall_breakdown()[cause] == \
+                r1.stats.stall_breakdown()[cause] + \
+                r2.stats.stall_breakdown()[cause]
+
+    def test_merge_empty(self):
+        m = RunStats.merge([])
+        assert m.cycles == 0 and not m.cores

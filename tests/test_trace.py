@@ -60,6 +60,34 @@ class TestTracer:
         assert tracer.dropped > 0
         assert 'dropped' in tracer.render()
 
+    def test_filtered_counter_core_filter(self):
+        def body(a):
+            for _ in range(10):
+                a.nop()
+
+        tracer = traced_run(body, cores=[0])
+        # other cores run the dispatch prologue: those records are filtered
+        assert tracer.filtered > 0
+        assert all(e.core == 0 for e in tracer.entries)
+        assert f'{tracer.filtered} entries filtered' in tracer.render()
+
+    def test_filtered_counter_cycle_window(self):
+        def body(a):
+            for _ in range(20):
+                a.nop()
+
+        tracer = traced_run(body, cores=[0], start=5, stop=10)
+        assert tracer.filtered > 0
+        assert 'filtered' in tracer.render()
+
+    def test_unfiltered_run_reports_nothing(self):
+        def body(a):
+            a.nop()
+
+        tracer = traced_run(body)
+        assert tracer.filtered == 0
+        assert 'filtered' not in tracer.render()
+
     def test_render_format(self):
         def body(a):
             a.li('x5', 1)
