@@ -3,7 +3,11 @@
 One :class:`ResultCache` is shared across the whole session so each
 (benchmark, configuration) point simulates once even though several
 figures consume it.  Set ``REPRO_SCALE=test`` for a fast smoke pass with
-tiny inputs (shapes will be noisier).
+tiny inputs (shapes will be noisier).  Set ``REPRO_STORE=DIR`` to back
+the cache with a persistent result store: points already executed by a
+``repro sweep`` (or a previous benchmark session) are served from disk
+instead of re-simulated, and fresh points are written back
+(docs/sweeps.md).
 """
 
 import os
@@ -13,11 +17,16 @@ import pytest
 from repro.harness.figures import ResultCache
 
 SCALE = os.environ.get('REPRO_SCALE', 'bench')
+STORE_DIR = os.environ.get('REPRO_STORE')
 
 
 @pytest.fixture(scope='session')
 def cache():
-    return ResultCache(scale=SCALE)
+    store = None
+    if STORE_DIR:
+        from repro.jobs import ResultStore
+        store = ResultStore(STORE_DIR)
+    return ResultCache(scale=SCALE, store=store)
 
 
 FIGURES_FILE = os.path.join(os.path.dirname(__file__), os.pardir,

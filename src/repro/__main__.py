@@ -9,12 +9,16 @@ Commands
     Simulate one point, verify against numpy, print cycles/energy.
     ``--report`` enables telemetry and writes the schema-checked run
     report; ``--trace`` writes a Perfetto-loadable Chrome trace.
-``figure NAME``
+``figure NAME [--jobs N] [--store DIR]``
     Regenerate one paper figure (fig10a, fig10b, fig10c, fig11, fig14a,
-    fig15c, fig16, fig17a, bfs).
-``experiment FILE.json``
+    fig15c, fig16, fig17a, bfs).  ``--jobs`` farms the points across a
+    worker pool first; ``--store`` persists results across runs.
+``experiment FILE.json [--jobs N] [--store DIR]``
     Run a JSON experiment description (see harness/experiments.py and
     examples/experiments/).
+``sweep NAME... [--jobs N] [--resume] [--no-cache]``
+    Execute the job sets of several figures as one resumable manifest
+    against the persistent result store (see docs/sweeps.md).
 ``report FILE.json``
     Validate a run report against the schema and print its summary
     (CPI stack, histograms, sample count).
@@ -104,21 +108,42 @@ def cmd_compare(args):
     return 2 if regressed else 0
 
 
-FIGURES = {
-    'fig10a': 'fig10a_speedup', 'fig10b': 'fig10b_icache',
-    'fig10c': 'fig10c_energy', 'fig11': 'fig11_scalability',
-    'fig14a': 'fig14a_speedup', 'fig14b': 'fig14b_icache',
-    'fig14c': 'fig14c_energy', 'fig15c': 'fig15c_frame_stalls',
-    'fig16': 'fig16_vector_lengths', 'fig17a': 'fig17a_miss_rate',
-    'fig17b': 'fig17b_llc_capacity', 'fig17c': 'fig17c_noc_width',
-    'bfs': 'bfs_irregular',
-}
+# kept in sync with repro.harness.figures.FIGURES (the canonical registry)
+FIGURE_NAMES = ('fig10a', 'fig10b', 'fig10c', 'fig11', 'fig14a', 'fig14b',
+                'fig14c', 'fig15c', 'fig16', 'fig17a', 'fig17b', 'fig17c',
+                'bfs')
+
+
+def _open_store(path):
+    if not path:
+        return None
+    from .jobs import ResultStore
+    return ResultStore(path)
+
+
+def _progress(outcome, done, total):
+    extra = f' [{outcome.status}]' if outcome.status != 'done' else ''
+    print(f'  [{done}/{total}] {outcome.spec.label()}'
+          f' ({outcome.elapsed:.1f}s){extra}', flush=True)
 
 
 def cmd_figure(args):
     from .harness import figures as F
-    fn = getattr(F, FIGURES[args.name])
-    cache = F.ResultCache(scale=args.scale)
+    store = _open_store(args.store)
+    cache = F.ResultCache(scale=args.scale, store=store)
+    if args.jobs > 1:
+        from .jobs import SweepEngine, any_failed, plan_figures, \
+            render_summary
+        specs = plan_figures([args.name], scale=args.scale)
+        engine = SweepEngine(jobs=args.jobs, store=store,
+                             progress=_progress)
+        outcomes = engine.execute(specs)
+        if any_failed(outcomes):
+            print(render_summary(outcomes), file=sys.stderr)
+            return 1
+        for o in outcomes:
+            cache.prime(o.spec, o.result)
+    fn = getattr(F, F.FIGURES[args.name])
     series = fn(cache)
     print(series.render())
     return 0
@@ -126,8 +151,65 @@ def cmd_figure(args):
 
 def cmd_experiment(args):
     from .harness.experiments import run_experiment
-    result = run_experiment(args.file)
+    result = run_experiment(args.file, jobs=args.jobs,
+                            store=_open_store(args.store),
+                            progress=_progress if args.jobs > 1 else None)
     print(result.render())
+    return 0
+
+
+def cmd_sweep(args):
+    import json
+    import time
+    from .harness import figures as F
+    from .jobs import (ResultStore, SweepEngine, SweepManifest, any_failed,
+                       build_sweep_report, plan_figures, render_summary)
+    store = ResultStore(args.store)
+    benches = args.benches.split(',') if args.benches else None
+    t0 = time.monotonic()
+    if args.resume:
+        try:
+            manifest = SweepManifest.load(args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f'cannot resume: {exc}', file=sys.stderr)
+            return 2
+        specs = manifest.pending()
+        print(f'resuming {manifest.name}: {len(specs)} of '
+              f'{len(manifest.entries)} job(s) still pending')
+    else:
+        specs = plan_figures(args.figures, scale=args.scale,
+                             benches=benches)
+        manifest = SweepManifest(name='+'.join(args.figures), specs=specs,
+                                 path=args.manifest)
+        manifest.save()
+        print(f'planned {len(specs)} job(s) across '
+              f'{len(args.figures)} figure(s)')
+    engine = SweepEngine(jobs=args.jobs, timeout=args.timeout,
+                         retries=args.retries, store=store,
+                         use_cache=not args.no_cache, progress=_progress)
+    outcomes = engine.execute(specs, manifest=manifest)
+    manifest.save()
+    print(render_summary(outcomes))
+    print(f'launched {engine.launched} worker(s); '
+          f'manifest: {manifest.path}; store: {store.root} '
+          f'({len(store)} result(s))')
+    if args.report:
+        doc = build_sweep_report(outcomes, name=manifest.name,
+                                 launched=engine.launched,
+                                 elapsed=time.monotonic() - t0)
+        with open(args.report, 'w') as f:
+            json.dump(doc, f, indent=1)
+        print(f'sweep report: {args.report}')
+    if any_failed(outcomes):
+        return 1
+    if args.render:
+        cache = F.ResultCache(scale=args.scale, store=store)
+        for name in args.figures:
+            fn = getattr(F, F.FIGURES[name])
+            kwargs = {'benches': benches} if benches and name != 'bfs' \
+                else {}
+            print()
+            print(fn(cache, **kwargs).render())
     return 0
 
 
@@ -157,11 +239,52 @@ def main(argv=None) -> int:
                    help='max traced instructions (default 200000)')
 
     p = sub.add_parser('figure', help='regenerate one paper figure')
-    p.add_argument('name', choices=sorted(FIGURES))
+    p.add_argument('name', choices=sorted(FIGURE_NAMES))
     p.add_argument('--scale', choices=('test', 'bench'), default='bench')
+    p.add_argument('--jobs', type=int, default=1, metavar='N',
+                   help='run the figure\'s points across N worker '
+                        'processes first (default 1 = serial)')
+    p.add_argument('--store', metavar='DIR',
+                   help='persistent result store directory')
 
     p = sub.add_parser('experiment', help='run a JSON experiment file')
     p.add_argument('file')
+    p.add_argument('--jobs', type=int, default=1, metavar='N',
+                   help='worker processes for the point sweep (default 1)')
+    p.add_argument('--store', metavar='DIR',
+                   help='persistent result store directory')
+
+    p = sub.add_parser('sweep', help='execute figure sweeps as a '
+                                     'resumable parallel job manifest')
+    p.add_argument('figures', nargs='+', choices=sorted(FIGURE_NAMES),
+                   metavar='FIGURE',
+                   help='figures whose points to execute '
+                        f'({", ".join(sorted(FIGURE_NAMES))})')
+    p.add_argument('--scale', choices=('test', 'bench'), default='bench')
+    p.add_argument('--jobs', type=int, default=1, metavar='N',
+                   help='max concurrent worker processes (default 1)')
+    p.add_argument('--store', default='.repro-store', metavar='DIR',
+                   help='result store directory (default .repro-store)')
+    p.add_argument('--manifest', default='sweep-manifest.json',
+                   metavar='PATH', help='manifest path '
+                                        '(default sweep-manifest.json)')
+    p.add_argument('--resume', action='store_true',
+                   help='reload the manifest and run only pending/failed '
+                        'points')
+    p.add_argument('--no-cache', action='store_true',
+                   help='ignore store hits; recompute (and overwrite) '
+                        'every point')
+    p.add_argument('--timeout', type=float, default=None, metavar='SEC',
+                   help='per-job wall-clock timeout in seconds')
+    p.add_argument('--retries', type=int, default=1, metavar='K',
+                   help='retries after a crash/timeout (default 1)')
+    p.add_argument('--report', metavar='OUT.json',
+                   help='write the sweep report artifact')
+    p.add_argument('--render', action='store_true',
+                   help='render the swept figures afterwards (all cache '
+                        'hits)')
+    p.add_argument('--benches', metavar='A,B,...',
+                   help='restrict the benchmark set (comma-separated)')
 
     p = sub.add_parser('report', help='validate + summarize a run report')
     p.add_argument('file')
@@ -175,8 +298,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
-            'experiment': cmd_experiment, 'report': cmd_report,
-            'compare': cmd_compare}[args.command](args)
+            'experiment': cmd_experiment, 'sweep': cmd_sweep,
+            'report': cmd_report, 'compare': cmd_compare}[args.command](args)
 
 
 if __name__ == '__main__':

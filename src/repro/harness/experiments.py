@@ -115,14 +115,37 @@ def _metric_value(result, metric: str, baseline):
 
 
 def run_experiment(spec: Union[ExperimentSpec, Dict, str, Path],
-                   cache: Optional[ResultCache] = None) -> ExperimentResult:
-    """Execute an experiment spec; returns per-metric result tables."""
+                   cache: Optional[ResultCache] = None,
+                   jobs: int = 1, store=None,
+                   progress=None) -> ExperimentResult:
+    """Execute an experiment spec; returns per-metric result tables.
+
+    ``jobs > 1`` farms the (benchmark x config) points across a
+    :class:`repro.jobs.SweepEngine` worker pool first and then fills the
+    tables from the primed cache — results are bit-identical to the
+    serial path because workers run the very same ``run_job``.  ``store``
+    (a :class:`repro.jobs.ResultStore`) persists results across runs.
+    """
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.load(spec)
     elif isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
-    cache = cache or ResultCache(scale=spec.scale, verify=spec.verify)
+    cache = cache or ResultCache(scale=spec.scale, verify=spec.verify,
+                                 store=store)
     machine = spec.machine_config()
+
+    if jobs and jobs > 1:
+        from ..jobs import JobSpec, SweepEngine
+        points = [JobSpec.make(b, cfg, scale=spec.scale, verify=spec.verify,
+                               machine=machine)
+                  for b in spec.benchmarks for cfg in spec.configs]
+        engine = SweepEngine(jobs=jobs, store=cache.store,
+                             progress=progress)
+        for outcome in engine.execute(points):
+            if outcome.result is not None:
+                cache.prime(outcome.spec, outcome.result)
+        # failed points (if any) re-raise naturally in the serial fill
+        # below, with the same exception the worker saw.
 
     tables: Dict[str, Series] = {}
     fmt = {'cycles': '{:.0f}', 'icache': '{:.0f}', 'instrs': '{:.0f}',

@@ -37,30 +37,58 @@ def amean(values: Sequence[float]) -> float:
 
 
 class ResultCache:
-    """Memoize simulation results across figures."""
+    """Memoize simulation results across figures.
 
-    def __init__(self, scale: str = 'bench', verify: bool = True):
+    Keys are the content-addressed :meth:`repro.jobs.JobSpec.key` hashes,
+    so ``active_cores=None`` vs ``()`` and parameter-dict ordering never
+    split a cache entry.  An optional persistent
+    :class:`repro.jobs.ResultStore` backs the in-memory dict: hits are
+    rehydrated from disk and fresh results written back, which is how
+    ``repro sweep`` farms points out in parallel and figure regeneration
+    afterwards simulates nothing (see docs/sweeps.md).
+    ``self.simulations`` counts actual simulator launches.
+    """
+
+    def __init__(self, scale: str = 'bench', verify: bool = True,
+                 store=None):
         self.scale = scale
         self.verify = verify
-        self._results: Dict[tuple, RunResult] = {}
+        self.store = store
+        self._results: Dict[str, RunResult] = {}
+        self.simulations = 0
+
+    def _spec(self, bench_name, config_name, machine, active_cores,
+              params_override):
+        from ..jobs.spec import JobSpec
+        return JobSpec.make(bench_name, config_name, scale=self.scale,
+                            verify=self.verify,
+                            params_override=params_override,
+                            machine=machine, active_cores=active_cores)
+
+    def prime(self, spec, result: RunResult) -> None:
+        """Pre-populate one point (used by the parallel sweep paths)."""
+        self._results[spec.key()] = result
 
     def run(self, bench_name: str, config_name: str,
             machine: Optional[MachineConfig] = None,
             active_cores: Optional[tuple] = None,
             params_override: Optional[dict] = None) -> RunResult:
-        key = (bench_name, config_name, machine, active_cores,
-               tuple(sorted((params_override or {}).items())))
-        if key not in self._results:
-            bench = registry.make(bench_name)
-            params = bench.params_for('test' if self.scale == 'test'
-                                      else 'bench')
-            if params_override:
-                params.update(params_override)
-            self._results[key] = run_benchmark(
-                bench, config_name, params, base_machine=machine,
-                verify=self.verify,
-                active_cores=list(active_cores) if active_cores else None)
-        return self._results[key]
+        spec = self._spec(bench_name, config_name, machine, active_cores,
+                          params_override)
+        key = spec.key()
+        result = self._results.get(key)
+        if result is None and self.store is not None:
+            result = self.store.get(key)
+            if result is not None:
+                self._results[key] = result
+        if result is None:
+            from ..jobs.engine import run_job
+            result = run_job(spec)
+            self.simulations += 1
+            self._results[key] = result
+            if self.store is not None:
+                self.store.put(key, result)
+        return result
 
 
 @dataclass
@@ -472,3 +500,16 @@ def bfs_irregular(cache: ResultCache) -> Series:
     s.add('bfs', 'V4', 1.0)
     s.add('bfs', 'V16', base / cache.run('bfs', 'V16').cycles)
     return s
+
+
+#: CLI/sweep-facing registry: figure name -> function name in this module.
+#: Every entry takes (cache, benches=...) except 'bfs' (cache only).
+FIGURES = {
+    'fig10a': 'fig10a_speedup', 'fig10b': 'fig10b_icache',
+    'fig10c': 'fig10c_energy', 'fig11': 'fig11_scalability',
+    'fig14a': 'fig14a_speedup', 'fig14b': 'fig14b_icache',
+    'fig14c': 'fig14c_energy', 'fig15c': 'fig15c_frame_stalls',
+    'fig16': 'fig16_vector_lengths', 'fig17a': 'fig17a_miss_rate',
+    'fig17b': 'fig17b_llc_capacity', 'fig17c': 'fig17c_noc_width',
+    'bfs': 'bfs_irregular',
+}

@@ -23,6 +23,7 @@ class RunResult:
     params: Optional[Dict[str, int]] = None
     machine: Optional[MachineConfig] = None
     telemetry: Optional[object] = None  # repro.telemetry.Telemetry
+    source: str = 'simulated'  # 'store' when rehydrated from a ResultStore
 
     @property
     def icache_accesses(self) -> int:

@@ -1,0 +1,41 @@
+"""Sweep execution engine with a persistent, content-addressed store.
+
+Turns any (benchmark x configuration x machine) sweep into a manifest of
+hashable :class:`JobSpec` points and executes them across a farm of
+worker processes with per-job timeout, bounded retry and crashed-worker
+recovery.  Results persist in a :class:`ResultStore` keyed by a hash of
+everything that determines the outcome (plus a code-version salt), so
+re-running a sweep is free and interrupting one loses only in-flight
+jobs.
+
+Quick start::
+
+    from repro.jobs import ResultStore, SweepEngine, plan_figures
+
+    specs = plan_figures(['fig10a'], scale='test')
+    engine = SweepEngine(jobs=4, store=ResultStore('.sweep-store'))
+    outcomes = engine.execute(specs)
+
+See ``docs/sweeps.md`` for the job model, cache keying and CLI.
+"""
+
+from .engine import (CACHED, CRASHED, DONE, FAILED, TIMEOUT, JobOutcome,
+                     SweepEngine, any_failed, render_summary, run_job)
+from .manifest import MANIFEST_SCHEMA_VERSION, SweepManifest
+from .planner import PlanningCache, plan_figures
+from .report import SWEEP_REPORT_KIND, SWEEP_SCHEMA_VERSION, \
+    build_sweep_report
+from .serialize import RESULT_SCHEMA_VERSION, result_from_dict, \
+    result_to_dict
+from .spec import CODE_VERSION, JobSpec, machine_hash
+from .store import ResultStore
+
+__all__ = [
+    'JobSpec', 'JobOutcome', 'SweepEngine', 'SweepManifest', 'ResultStore',
+    'PlanningCache', 'plan_figures', 'run_job', 'any_failed',
+    'render_summary', 'build_sweep_report', 'result_to_dict',
+    'result_from_dict', 'machine_hash', 'CODE_VERSION',
+    'RESULT_SCHEMA_VERSION', 'MANIFEST_SCHEMA_VERSION',
+    'SWEEP_REPORT_KIND', 'SWEEP_SCHEMA_VERSION',
+    'DONE', 'CACHED', 'FAILED', 'TIMEOUT', 'CRASHED',
+]

@@ -1,0 +1,79 @@
+"""Turn figure generators into sweep manifests without simulating.
+
+Every ``fig*`` function consumes a :class:`~repro.harness.figures.
+ResultCache` point by point.  The set of points a figure touches is
+data-independent (branches depend only on the benchmark list, scale and
+configuration tables, never on simulated values), so running the figure
+against a :class:`PlanningCache` — which records each requested point and
+returns a cheap stub — enumerates the exact job set the real run needs.
+
+The sweep engine then executes that set in parallel into the store, and
+the figure re-runs against a store-backed cache with zero simulations.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List, Optional, Sequence
+
+from ..energy.model import EnergyBreakdown
+from ..harness.runner import RunResult
+from ..manycore.config import DEFAULT_CONFIG
+from ..manycore.stats import CoreStats, MemStats, RunStats
+from .spec import JobSpec
+
+
+def _stub_result(bench: str, config: str, machine) -> RunResult:
+    """A placeholder with every field the figure reducers touch positive."""
+    m = machine if machine is not None else DEFAULT_CONFIG
+    stats = RunStats(
+        cycles=1,
+        cores={i: CoreStats(cycles=1, instrs=1, icache_accesses=1)
+               for i in range(m.num_cores)},
+        mem=MemStats(llc_accesses=1),
+        noc_word_hops=1)
+    return RunResult(bench, config, 1, stats,
+                     energy=EnergyBreakdown(pipeline=1.0),
+                     params={}, machine=m)
+
+
+class PlanningCache:
+    """Duck-types ResultCache.run; records specs, simulates nothing."""
+
+    def __init__(self, scale: str = 'bench', verify: bool = True):
+        self.scale = scale
+        self.verify = verify
+        self.specs: Dict[str, JobSpec] = {}  # key -> spec, insertion order
+
+    def run(self, bench_name: str, config_name: str, machine=None,
+            active_cores=None, params_override=None) -> RunResult:
+        spec = JobSpec.make(bench_name, config_name, scale=self.scale,
+                            verify=self.verify,
+                            params_override=params_override,
+                            machine=machine, active_cores=active_cores)
+        self.specs.setdefault(spec.key(), spec)
+        return _stub_result(bench_name, config_name, machine)
+
+
+def plan_figures(names: Sequence[str], scale: str = 'bench',
+                 benches: Optional[Sequence[str]] = None,
+                 verify: bool = True) -> List[JobSpec]:
+    """Enumerate every job the named figures need, in first-use order.
+
+    ``benches`` restricts the benchmark set for figure functions that
+    take one (all but ``bfs``); ``None`` means each figure's default.
+    """
+    from ..harness import figures as F
+    cache = PlanningCache(scale=scale, verify=verify)
+    for name in names:
+        try:
+            fn = getattr(F, F.FIGURES[name])
+        except KeyError:
+            raise ValueError(f'unknown figure {name!r} '
+                             f'(valid: {", ".join(sorted(F.FIGURES))})')
+        kwargs = {}
+        if benches is not None and \
+                'benches' in inspect.signature(fn).parameters:
+            kwargs['benches'] = list(benches)
+        fn(cache, **kwargs)
+    return list(cache.specs.values())

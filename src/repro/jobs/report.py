@@ -1,0 +1,55 @@
+"""Sweep-level report artifact.
+
+Folds the per-job outcomes of one sweep into a single JSON document that
+shares provenance (git SHA, timestamp, Python version) with the telemetry
+run reports, so CI can archive one artifact per sweep and assert on it —
+the second-pass 100%-cache-hit gate checks ``launched == 0`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .engine import JobOutcome
+from .spec import machine_hash
+
+SWEEP_REPORT_KIND = 'repro-sweep-report'
+SWEEP_SCHEMA_VERSION = 1
+
+
+def build_sweep_report(outcomes: Sequence[JobOutcome], name: str = 'sweep',
+                       launched: int = 0,
+                       elapsed: Optional[float] = None) -> dict:
+    from ..telemetry.report import _generated
+    jobs = []
+    counts = {}
+    for o in outcomes:
+        counts[o.status] = counts.get(o.status, 0) + 1
+        doc = {
+            'key': o.key,
+            'benchmark': o.spec.benchmark,
+            'config': o.spec.config,
+            'status': o.status,
+            'attempts': o.attempts,
+            'elapsed': round(o.elapsed, 3),
+        }
+        if o.result is not None:
+            doc['cycles'] = o.result.cycles
+            doc['instrs'] = o.result.instrs
+            doc['machine_hash'] = machine_hash(o.result.machine)
+        if o.error:
+            doc['error'] = o.error.strip().splitlines()[-1]
+        jobs.append(doc)
+    report = {
+        'schema_version': SWEEP_SCHEMA_VERSION,
+        'kind': SWEEP_REPORT_KIND,
+        'generated': _generated(),
+        'name': name,
+        'total': len(jobs),
+        'by_status': counts,
+        'launched': launched,
+        'jobs': jobs,
+    }
+    if elapsed is not None:
+        report['elapsed'] = round(elapsed, 3)
+    return report

@@ -1,0 +1,78 @@
+"""Lossless RunResult <-> JSON-safe dict conversion for the result store.
+
+Everything a :class:`~repro.harness.runner.RunResult` carries that is
+needed to regenerate any figure or experiment table — final cycle count,
+the full per-core/memory/NoC statistics, the energy breakdown, the input
+parameters, and the machine configuration — round-trips exactly.  The
+``telemetry`` attachment is the one exception: sweeps run telemetry-free
+(it is an interactive-debugging feature and would dominate pipe traffic),
+so it serializes to nothing and deserializes as ``None``.
+
+``RESULT_SCHEMA_VERSION`` is embedded in every stored document and in the
+run-report artifact; readers treat a mismatch as a cache miss, so schema
+evolution never requires clearing stores by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..energy.model import EnergyBreakdown
+from ..harness.runner import RunResult
+from ..manycore.config import MachineConfig
+from ..manycore.stats import CoreStats, MemStats, RunStats
+
+#: Bump when the serialized layout changes; old store entries become misses.
+RESULT_SCHEMA_VERSION = 1
+
+
+def result_to_dict(r: RunResult) -> dict:
+    """Flatten one RunResult to a JSON-safe dict (telemetry excluded)."""
+    return {
+        'schema_version': RESULT_SCHEMA_VERSION,
+        'benchmark': r.benchmark,
+        'config': r.config,
+        'cycles': r.cycles,
+        'stats': {
+            'cycles': r.stats.cycles,
+            'noc_word_hops': r.stats.noc_word_hops,
+            'mem': dataclasses.asdict(r.stats.mem),
+            'cores': {str(cid): dataclasses.asdict(cs)
+                      for cid, cs in r.stats.cores.items()},
+        },
+        'energy': (dataclasses.asdict(r.energy)
+                   if r.energy is not None else None),
+        'params': dict(r.params) if r.params is not None else None,
+        'machine': (dataclasses.asdict(r.machine)
+                    if r.machine is not None else None),
+    }
+
+
+def result_from_dict(doc: dict, source: str = 'store') -> RunResult:
+    """Rebuild a RunResult; raises ValueError on schema mismatch.
+
+    ``source`` lands in ``RunResult.source`` ('simulated' for results that
+    just crossed a worker pipe, 'store' for on-disk cache hits) so reports
+    built from cached results are distinguishable from fresh ones.
+    """
+    version = doc.get('schema_version')
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(f'result schema v{version} != '
+                         f'v{RESULT_SCHEMA_VERSION}')
+    sd = doc['stats']
+    stats = RunStats(
+        cycles=sd['cycles'],
+        cores={int(cid): CoreStats(**cs)
+               for cid, cs in sd['cores'].items()},
+        mem=MemStats(**sd['mem']),
+        noc_word_hops=sd['noc_word_hops'])
+    energy: Optional[EnergyBreakdown] = (
+        EnergyBreakdown(**doc['energy'])
+        if doc.get('energy') is not None else None)
+    machine: Optional[MachineConfig] = (
+        MachineConfig(**doc['machine'])
+        if doc.get('machine') is not None else None)
+    return RunResult(doc['benchmark'], doc['config'], doc['cycles'], stats,
+                     energy, params=doc.get('params'), machine=machine,
+                     telemetry=None, source=source)

@@ -86,6 +86,15 @@ REPORT_SCHEMA = {
         'config': {'type': 'string'},
         'params': {'type': 'object'},
         'machine': {'type': 'object'},
+        'machine_hash': {'type': 'string'},
+        'result_store': {
+            'type': 'object',
+            'required': ['schema_version', 'source'],
+            'properties': {
+                'schema_version': {'type': 'integer'},
+                'source': {'type': 'string'},
+            },
+        },
         'cycles': _COUNTER,
         'instrs': _COUNTER,
         'counters': {
@@ -204,7 +213,16 @@ def _stats_counters(stats) -> dict:
 
 
 def build_report(result) -> dict:
-    """Assemble the (validated) report document for one RunResult."""
+    """Assemble the (validated) report document for one RunResult.
+
+    ``machine_hash`` and ``result_store`` tie the report to the sweep
+    cache: the hash is the same one :mod:`repro.jobs` keys on, and
+    ``result_store.source`` says whether the numbers were simulated in
+    this process ('simulated') or rehydrated from the on-disk store
+    ('store'), so cached and fresh reports are distinguishable.
+    """
+    from ..jobs.serialize import RESULT_SCHEMA_VERSION
+    from ..jobs.spec import machine_hash
     doc = {
         'schema_version': SCHEMA_VERSION,
         'kind': REPORT_KIND,
@@ -214,6 +232,11 @@ def build_report(result) -> dict:
         'cycles': result.cycles,
         'instrs': result.stats.total_instrs,
         'counters': _stats_counters(result.stats),
+        'machine_hash': machine_hash(result.machine),
+        'result_store': {
+            'schema_version': RESULT_SCHEMA_VERSION,
+            'source': getattr(result, 'source', 'simulated'),
+        },
     }
     if result.params is not None:
         doc['params'] = {k: v for k, v in result.params.items()}

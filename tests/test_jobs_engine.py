@@ -1,0 +1,190 @@
+"""Sweep engine: failure injection, retries, resume, salt invalidation.
+
+Worker failure modes are injected through the engine's ``job_fn`` hook
+with fast fake results, so these tests exercise the farm machinery
+(pipes, timeouts, SIGKILL recovery, manifests) without simulating.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.harness.runner import RunResult
+from repro.jobs import (CACHED, CRASHED, DONE, FAILED, TIMEOUT, JobSpec,
+                        ResultStore, SweepEngine, SweepManifest, any_failed,
+                        build_sweep_report, render_summary)
+from repro.jobs import spec as spec_mod
+from repro.manycore.stats import CoreStats, MemStats, RunStats
+
+
+def _fake(spec):
+    stats = RunStats(cycles=7, cores={0: CoreStats(cycles=7, instrs=3)},
+                     mem=MemStats(llc_accesses=1))
+    return RunResult(spec.benchmark, spec.config, 7, stats,
+                     params=spec.params_dict() or None)
+
+
+def _flaky(spec):
+    if spec.benchmark == 'bad':
+        raise RuntimeError('injected failure')
+    return _fake(spec)
+
+
+def _slow(spec):
+    if spec.benchmark == 'slow':
+        time.sleep(60)
+    return _fake(spec)
+
+
+def _suicidal(spec):
+    if spec.benchmark == 'doomed':
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _fake(spec)
+
+
+# names never hit the registry: the fake job_fns don't look benchmarks up
+SPECS = [JobSpec.make(b, 'NV') for b in ('alpha', 'beta', 'gamma')]
+
+
+class TestFailureInjection:
+    def test_raising_worker_marks_failed_and_sweep_completes(self):
+        specs = SPECS + [JobSpec.make('bad', 'NV')]
+        engine = SweepEngine(jobs=2, job_fn=_flaky)
+        outcomes = engine.execute(specs)
+        by_bench = {o.spec.benchmark: o for o in outcomes}
+        assert by_bench['bad'].status == FAILED
+        assert 'injected failure' in by_bench['bad'].error
+        # deterministic errors are not retried
+        assert by_bench['bad'].attempts == 1
+        for b in ('alpha', 'beta', 'gamma'):
+            assert by_bench[b].status == DONE
+            assert by_bench[b].result.cycles == 7
+        assert any_failed(outcomes)
+        summary = render_summary(outcomes)
+        assert '3 simulated' in summary and '1 failed' in summary
+        assert 'injected failure' in summary
+
+    def test_timeout_kills_retries_then_fails(self):
+        specs = SPECS + [JobSpec.make('slow', 'NV')]
+        engine = SweepEngine(jobs=2, timeout=0.4, retries=1, job_fn=_slow)
+        outcomes = engine.execute(specs)
+        by_bench = {o.spec.benchmark: o for o in outcomes}
+        assert by_bench['slow'].status == TIMEOUT
+        assert by_bench['slow'].attempts == 2  # first try + one retry
+        assert 'timeout' in by_bench['slow'].error
+        assert all(by_bench[b].status == DONE
+                   for b in ('alpha', 'beta', 'gamma'))
+        assert any_failed(outcomes)
+
+    def test_killed_worker_recovered_and_marked_crashed(self):
+        specs = SPECS + [JobSpec.make('doomed', 'NV')]
+        engine = SweepEngine(jobs=2, retries=1, job_fn=_suicidal)
+        outcomes = engine.execute(specs)
+        by_bench = {o.spec.benchmark: o for o in outcomes}
+        assert by_bench['doomed'].status == CRASHED
+        assert by_bench['doomed'].attempts == 2
+        assert 'killed' in by_bench['doomed'].error \
+            or 'exited' in by_bench['doomed'].error
+        assert all(by_bench[b].status == DONE
+                   for b in ('alpha', 'beta', 'gamma'))
+        summary = render_summary(outcomes)
+        assert 'CRASHED' in summary
+
+    def test_sweep_report_records_failures(self):
+        engine = SweepEngine(jobs=2, job_fn=_flaky)
+        outcomes = engine.execute([JobSpec.make('bad', 'NV')] + SPECS)
+        doc = build_sweep_report(outcomes, name='inject',
+                                 launched=engine.launched)
+        assert doc['total'] == 4
+        assert doc['by_status'] == {'failed': 1, 'done': 3}
+        failed = [j for j in doc['jobs'] if j['status'] == 'failed']
+        assert failed[0]['benchmark'] == 'bad'
+        assert 'injected failure' in failed[0]['error']
+
+
+class TestDedupAndProgress:
+    def test_duplicate_specs_run_once(self):
+        engine = SweepEngine(jobs=2, job_fn=_fake)
+        outcomes = engine.execute([SPECS[0], SPECS[0], SPECS[1]])
+        assert len(outcomes) == 2
+        assert engine.launched == 2
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        engine = SweepEngine(jobs=2, job_fn=_fake,
+                             progress=lambda o, d, t: seen.append((d, t)))
+        engine.execute(SPECS)
+        assert sorted(seen) == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestStoreIntegration:
+    def test_hits_skip_worker_launch(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = SweepEngine(jobs=2, store=store, job_fn=_fake)
+        outs = first.execute(SPECS)
+        assert first.launched == 3
+        assert all(o.status == DONE for o in outs)
+        second = SweepEngine(jobs=2, store=store, job_fn=_fake)
+        outs = second.execute(SPECS)
+        assert second.launched == 0
+        assert all(o.status == CACHED and o.from_cache for o in outs)
+        assert all(o.result.cycles == 7 for o in outs)
+
+    def test_no_cache_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepEngine(jobs=2, store=store, job_fn=_fake).execute(SPECS)
+        engine = SweepEngine(jobs=2, store=store, use_cache=False,
+                             job_fn=_fake)
+        outs = engine.execute(SPECS)
+        assert engine.launched == 3
+        assert all(o.status == DONE for o in outs)
+
+    def test_salt_bump_invalidates_store(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        SweepEngine(jobs=2, store=store, job_fn=_fake).execute(SPECS)
+        monkeypatch.setattr(spec_mod, 'CODE_VERSION',
+                            spec_mod.CODE_VERSION + 1)
+        engine = SweepEngine(jobs=2, store=store, job_fn=_fake)
+        outs = engine.execute(SPECS)
+        assert engine.launched == 3  # nothing served from the stale cache
+        assert all(o.status == DONE for o in outs)
+
+
+class TestManifestResume:
+    def test_interrupted_sweep_resumes_missing_points_only(self, tmp_path):
+        mpath = tmp_path / 'manifest.json'
+        manifest = SweepManifest('t', specs=SPECS, path=mpath)
+        manifest.save()
+        # "interrupt": only the first two points ever execute
+        engine = SweepEngine(jobs=1, job_fn=_fake)
+        engine.execute(SPECS[:2], manifest=manifest)
+        assert engine.launched == 2
+
+        resumed = SweepManifest.load(mpath)
+        pending = resumed.pending()
+        assert [s.benchmark for s in pending] == ['gamma']
+        engine2 = SweepEngine(jobs=1, job_fn=_fake)
+        outs = engine2.execute(pending, manifest=resumed)
+        assert engine2.launched == 1  # job-launch count: only the gap ran
+        assert outs[0].status == DONE
+        assert SweepManifest.load(mpath).pending() == []
+
+    def test_failed_points_are_pending_again_on_resume(self, tmp_path):
+        mpath = tmp_path / 'manifest.json'
+        specs = SPECS + [JobSpec.make('bad', 'NV')]
+        manifest = SweepManifest('t', specs=specs, path=mpath)
+        SweepEngine(jobs=2, job_fn=_flaky).execute(specs, manifest=manifest)
+        pending = SweepManifest.load(mpath).pending()
+        assert [s.benchmark for s in pending] == ['bad']
+
+    def test_salt_bump_resets_manifest_entries(self, tmp_path, monkeypatch):
+        mpath = tmp_path / 'manifest.json'
+        manifest = SweepManifest('t', specs=SPECS, path=mpath)
+        SweepEngine(jobs=2, job_fn=_fake).execute(SPECS, manifest=manifest)
+        assert SweepManifest.load(mpath).pending() == []
+        monkeypatch.setattr(spec_mod, 'CODE_VERSION',
+                            spec_mod.CODE_VERSION + 1)
+        reloaded = SweepManifest.load(mpath)
+        assert len(reloaded.pending()) == 3  # old keys unaddressable

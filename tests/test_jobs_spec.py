@@ -1,0 +1,108 @@
+"""Job-spec normalization, content-addressed keys, and cache keying."""
+
+import pytest
+
+from repro.harness.figures import ResultCache
+from repro.jobs import JobSpec, machine_hash
+from repro.jobs import spec as spec_mod
+from repro.manycore import DEFAULT_CONFIG, small_config
+
+
+class TestNormalization:
+    def test_param_dict_ordering_does_not_change_key(self):
+        a = JobSpec.make('gemm', 'NV', params_override={'n': 8, 'm': 4})
+        b = JobSpec.make('gemm', 'NV', params_override={'m': 4, 'n': 8})
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_active_cores_empty_and_none_are_equal(self):
+        assert JobSpec.make('gemm', 'NV', active_cores=None) == \
+            JobSpec.make('gemm', 'NV', active_cores=())
+        assert JobSpec.make('gemm', 'NV', active_cores=[]).active_cores \
+            is None
+
+    def test_active_cores_order_preserved(self):
+        # core order is part of the point's identity (placement matters)
+        a = JobSpec.make('gemm', 'NV', active_cores=(0, 1))
+        b = JobSpec.make('gemm', 'NV', active_cores=(1, 0))
+        assert a.key() != b.key()
+
+    def test_machine_config_flattens_and_keys_structurally(self):
+        a = JobSpec.make('gemm', 'NV', machine=small_config())
+        b = JobSpec.make('gemm', 'NV', machine=small_config())
+        c = JobSpec.make('gemm', 'NV', machine=DEFAULT_CONFIG)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.machine_config() == small_config()
+
+    def test_default_machine_is_none(self):
+        s = JobSpec.make('gemm', 'NV')
+        assert s.machine is None and s.machine_config() is None
+
+
+class TestKeys:
+    def test_key_differs_by_every_dimension(self):
+        base = JobSpec.make('gemm', 'NV')
+        others = [
+            JobSpec.make('bicg', 'NV'),
+            JobSpec.make('gemm', 'V4'),
+            JobSpec.make('gemm', 'NV', scale='test'),
+            JobSpec.make('gemm', 'NV', verify=False),
+            JobSpec.make('gemm', 'NV', params_override={'n': 2}),
+            JobSpec.make('gemm', 'NV', machine=small_config()),
+            JobSpec.make('gemm', 'NV', active_cores=(0,)),
+            JobSpec.make('gemm', 'NV', max_cycles=123),
+        ]
+        keys = {base.key()} | {o.key() for o in others}
+        assert len(keys) == len(others) + 1
+
+    def test_code_version_salt_changes_key(self, monkeypatch):
+        s = JobSpec.make('gemm', 'NV')
+        before = s.key()
+        monkeypatch.setattr(spec_mod, 'CODE_VERSION',
+                            spec_mod.CODE_VERSION + 1)
+        assert s.key() != before
+        assert s.key(salt=spec_mod.CODE_VERSION - 1) == before
+
+    def test_round_trip_through_dict(self):
+        s = JobSpec.make('gemm', 'V4', scale='test', verify=False,
+                         params_override={'n': 8},
+                         machine=small_config(), active_cores=(3, 1),
+                         max_cycles=999)
+        assert JobSpec.from_dict(s.to_dict()) == s
+        # and through JSON (tuples -> lists -> normalized back)
+        import json
+        assert JobSpec.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+
+class TestMachineHash:
+    def test_stable_and_distinct(self):
+        assert machine_hash(None) == 'default'
+        assert machine_hash(DEFAULT_CONFIG) == machine_hash(DEFAULT_CONFIG)
+        assert machine_hash(DEFAULT_CONFIG) != machine_hash(small_config())
+
+
+class TestResultCacheKeying:
+    """ResultCache.run must normalize before keying (satellite fix)."""
+
+    def test_active_cores_none_vs_empty_single_simulation(self):
+        cache = ResultCache(scale='test')
+        r1 = cache.run('bicg', 'NV', active_cores=None)
+        r2 = cache.run('bicg', 'NV', active_cores=())
+        assert r1 is r2
+        assert cache.simulations == 1
+
+    def test_params_override_ordering_single_simulation(self):
+        cache = ResultCache(scale='test')
+        pa = dict([('n', 32), ('m', 32)])
+        pb = dict([('m', 32), ('n', 32)])
+        r1 = cache.run('bicg', 'NV', params_override=pa)
+        r2 = cache.run('bicg', 'NV', params_override=pb)
+        assert r1 is r2
+        assert cache.simulations == 1
+
+    def test_distinct_points_still_distinct(self):
+        cache = ResultCache(scale='test')
+        cache.run('bicg', 'NV')
+        cache.run('bicg', 'NV', active_cores=(0,))
+        assert cache.simulations == 2

@@ -1,0 +1,127 @@
+"""Lossless RunResult serialization and the on-disk result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.jobs import (JobSpec, ResultStore, RESULT_SCHEMA_VERSION,
+                        result_from_dict, result_to_dict, run_job)
+
+
+@pytest.fixture(scope='module')
+def tiny_result():
+    return run_job(JobSpec.make('bicg', 'NV_PF', scale='test'))
+
+
+@pytest.fixture(scope='module')
+def tiny_key():
+    return JobSpec.make('bicg', 'NV_PF', scale='test').key()
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self, tiny_result):
+        r2 = result_from_dict(result_to_dict(tiny_result))
+        assert r2.benchmark == tiny_result.benchmark
+        assert r2.config == tiny_result.config
+        assert r2.cycles == tiny_result.cycles
+        assert r2.stats.cycles == tiny_result.stats.cycles
+        assert r2.stats.noc_word_hops == tiny_result.stats.noc_word_hops
+        assert r2.stats.mem == tiny_result.stats.mem
+        assert r2.stats.cores == tiny_result.stats.cores
+        assert r2.energy == tiny_result.energy
+        assert r2.params == tiny_result.params
+        assert r2.machine == tiny_result.machine
+        assert r2.telemetry is None
+
+    def test_round_trip_survives_json(self, tiny_result):
+        doc = json.loads(json.dumps(result_to_dict(tiny_result)))
+        r2 = result_from_dict(doc)
+        assert r2.cycles == tiny_result.cycles
+        assert r2.stats.cores == tiny_result.stats.cores
+
+    def test_none_fields_round_trip(self, tiny_result):
+        bare = dataclasses.replace(tiny_result, energy=None, params=None,
+                                   machine=None)
+        r2 = result_from_dict(result_to_dict(bare))
+        assert r2.energy is None and r2.params is None \
+            and r2.machine is None
+
+    def test_source_marks_provenance(self, tiny_result):
+        assert tiny_result.source == 'simulated'
+        doc = result_to_dict(tiny_result)
+        assert result_from_dict(doc).source == 'store'
+        assert result_from_dict(doc, source='simulated').source == \
+            'simulated'
+
+    def test_schema_version_mismatch_rejected(self, tiny_result):
+        doc = result_to_dict(tiny_result)
+        doc['schema_version'] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match='schema'):
+            result_from_dict(doc)
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path, tiny_result, tiny_key):
+        store = ResultStore(tmp_path / 'store')
+        assert tiny_key not in store
+        store.put(tiny_key, tiny_result)
+        assert tiny_key in store and len(store) == 1
+        got = store.get(tiny_key)
+        assert got.cycles == tiny_result.cycles
+        assert got.stats.cores == tiny_result.stats.cores
+        assert got.source == 'store'
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get('0' * 24) is None
+        assert store.misses == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, tiny_result, tiny_key):
+        store = ResultStore(tmp_path)
+        store.put(tiny_key, tiny_result)
+        store.path(tiny_key).write_text('{"truncated": ')
+        assert store.get(tiny_key) is None
+
+    def test_schema_bump_invalidates(self, tmp_path, tiny_result, tiny_key):
+        store = ResultStore(tmp_path)
+        store.put(tiny_key, tiny_result)
+        doc = json.loads(store.path(tiny_key).read_text())
+        doc['store_schema_version'] = RESULT_SCHEMA_VERSION + 1
+        store.path(tiny_key).write_text(json.dumps(doc))
+        assert store.get(tiny_key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path, tiny_result, tiny_key):
+        # a renamed/moved file must not be served for the wrong point
+        store = ResultStore(tmp_path)
+        store.put(tiny_key, tiny_result)
+        other = 'f' * 24
+        store.path(tiny_key).rename(store.path(other))
+        assert store.get(other) is None
+
+    def test_clear(self, tmp_path, tiny_result, tiny_key):
+        store = ResultStore(tmp_path)
+        store.put(tiny_key, tiny_result)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestReportProvenance:
+    """to_json embeds the machine hash + store schema version."""
+
+    def test_fresh_report_fields(self, tiny_result):
+        from repro.jobs import machine_hash
+        doc = tiny_result.to_json()
+        assert doc['machine_hash'] == machine_hash(tiny_result.machine)
+        assert doc['result_store'] == {
+            'schema_version': RESULT_SCHEMA_VERSION, 'source': 'simulated'}
+
+    def test_cached_report_distinguishable(self, tmp_path, tiny_result,
+                                           tiny_key):
+        store = ResultStore(tmp_path)
+        store.put(tiny_key, tiny_result)
+        cached = store.get(tiny_key)
+        doc = cached.to_json()
+        assert doc['result_store']['source'] == 'store'
+        assert doc['machine_hash'] == tiny_result.to_json()['machine_hash']
+        assert doc['cycles'] == tiny_result.cycles
