@@ -19,6 +19,13 @@ Commands
 ``sweep NAME... [--jobs N] [--resume] [--no-cache]``
     Execute the job sets of several figures as one resumable manifest
     against the persistent result store (see docs/sweeps.md).
+``serve [TRACE.json] [--seed N --requests N] [--report OUT.json]``
+    Replay a kernel-request trace on one multi-tenant fabric: requests
+    are queued, placed by the region allocator, run as concurrent vector
+    groups, and verified against numpy.  Omitting the trace file
+    generates a deterministic seeded trace; ``--report`` writes the
+    schema-checked serving report, ``--perfetto`` an annotated Chrome
+    trace.  Exits nonzero if any request failed (see docs/serving.md).
 ``report FILE.json``
     Validate a run report against the schema and print its summary
     (CPI stack, histograms, sample count).
@@ -81,6 +88,49 @@ def cmd_run(args):
         print(f'  trace         {args.trace} '
               f'({len(doc["traceEvents"])} events; load in '
               f'ui.perfetto.dev)')
+    return 0
+
+
+def cmd_serve(args):
+    import json
+    from .manycore import Fabric
+    from .serve import (FAILED, ServeScheduler, build_serve_report,
+                        generate_trace, load_trace, render_serve_report,
+                        save_trace, store_serve_report)
+    if args.trace_file:
+        requests = load_trace(args.trace_file)
+        seed = None
+    else:
+        requests = generate_trace(
+            seed=args.seed, n_requests=args.requests, scale=args.scale,
+            mean_interarrival=args.mean_interarrival, timeout=args.timeout)
+        seed = args.seed
+    if args.save_trace:
+        save_trace(args.save_trace, requests)
+        print(f'trace: {args.save_trace} ({len(requests)} requests)')
+    fabric = Fabric()
+    result = ServeScheduler(fabric, verify=not args.no_verify).run(requests)
+    doc = build_serve_report(result, seed=seed)
+    print(render_serve_report(doc))
+    if args.report:
+        with open(args.report, 'w') as f:
+            json.dump(doc, f, indent=1)
+        print(f'report: {args.report} (schema-valid)')
+    if args.store:
+        from .jobs import ResultStore
+        key = store_serve_report(ResultStore(args.store), doc)
+        print(f'stored: {args.store}/{key}.json')
+    if args.perfetto:
+        from .telemetry import write_chrome_trace
+        tdoc = write_chrome_trace(args.perfetto, fabric=fabric)
+        print(f'perfetto trace: {args.perfetto} '
+              f'({len(tdoc["traceEvents"])} events)')
+    failed = [r for r in result.requests if r.state == FAILED]
+    if failed:
+        for r in failed:
+            print(f'request {r.req_id} ({r.kernel}) FAILED: {r.error}',
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -286,6 +336,35 @@ def main(argv=None) -> int:
     p.add_argument('--benches', metavar='A,B,...',
                    help='restrict the benchmark set (comma-separated)')
 
+    p = sub.add_parser('serve', help='replay a kernel-request trace on '
+                                     'one multi-tenant fabric')
+    p.add_argument('trace_file', nargs='?', metavar='TRACE.json',
+                   help='request trace to replay (omit to generate a '
+                        'seeded trace)')
+    p.add_argument('--seed', type=int, default=0, metavar='N',
+                   help='trace-generator seed (default 0)')
+    p.add_argument('--requests', type=int, default=8, metavar='N',
+                   help='generated trace length (default 8)')
+    p.add_argument('--scale', choices=('test', 'bench'), default='test',
+                   help='problem sizes for generated requests '
+                        '(default test)')
+    p.add_argument('--mean-interarrival', type=int, default=2000,
+                   metavar='CYCLES',
+                   help='mean request interarrival (default 2000)')
+    p.add_argument('--timeout', type=int, default=None, metavar='CYCLES',
+                   help='per-request deadline measured from arrival')
+    p.add_argument('--save-trace', metavar='OUT.json',
+                   help='also write the (generated) trace file')
+    p.add_argument('--report', metavar='OUT.json',
+                   help='write the schema-checked serving report')
+    p.add_argument('--store', metavar='DIR',
+                   help='persist the serving report in a result store')
+    p.add_argument('--perfetto', metavar='OUT.json',
+                   help='write a Chrome trace with per-core request/'
+                        'group annotation')
+    p.add_argument('--no-verify', action='store_true',
+                   help='skip numpy output verification')
+
     p = sub.add_parser('report', help='validate + summarize a run report')
     p.add_argument('file')
 
@@ -299,7 +378,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
-            'report': cmd_report, 'compare': cmd_compare}[args.command](args)
+            'serve': cmd_serve, 'report': cmd_report,
+            'compare': cmd_compare}[args.command](args)
 
 
 if __name__ == '__main__':

@@ -72,3 +72,7 @@ class InetQueue:
         if self._q:
             return self._q[0][0]
         return None
+
+    def clear(self) -> None:
+        """Drop queued messages (tile handed to a new job)."""
+        self._q.clear()

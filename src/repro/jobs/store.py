@@ -75,6 +75,40 @@ class ResultStore:
         os.replace(tmp, target)
         return target
 
+    def put_doc(self, key: str, doc: dict) -> Path:
+        """Atomically persist an arbitrary JSON document (e.g. a serving
+        report) under ``key``.  Keys for documents must carry a kind
+        prefix (``serve-...``) so they can never shadow a sweep result."""
+        wrapper = {
+            'store_schema_version': RESULT_SCHEMA_VERSION,
+            'key': key,
+            'doc': doc,
+        }
+        target = self.path(key)
+        tmp = target.with_name(f'.{key}.{os.getpid()}.tmp')
+        with open(tmp, 'w') as f:
+            json.dump(wrapper, f)
+        os.replace(tmp, target)
+        return target
+
+    def get_doc(self, key: str) -> Optional[dict]:
+        """Return a stored document for ``key``, or None on any miss."""
+        try:
+            with open(self.path(key)) as f:
+                wrapper = json.load(f)
+            if wrapper.get('store_schema_version') != RESULT_SCHEMA_VERSION:
+                raise ValueError('store schema mismatch')
+            if wrapper.get('key') != key:
+                raise ValueError('key mismatch')
+            doc = wrapper['doc']
+            if not isinstance(doc, dict):
+                raise TypeError('document is not an object')
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
     def clear(self) -> int:
         """Delete every stored result; returns how many were removed."""
         n = 0

@@ -15,7 +15,7 @@ configuration registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class VectorParams:
     lanes: int = 4
     pcv: bool = False
     max_groups: Optional[int] = None
+    #: explicit path-ordered tile region to build groups on (serve mode);
+    #: None plans over the whole mesh as the figures do
+    tiles: Optional[Sequence[int]] = None
 
     @property
     def name(self) -> str:
@@ -208,4 +211,5 @@ class Benchmark:
         fs = min(fs, fabric.cfg.spad_words // fabric.cfg.frame_counters)
         return VectorKernelBuilder(
             fabric, vp.lanes, frame_size=fs, max_groups=vp.max_groups,
-            mt_body_instrs=self.mt_body_estimate(params, vp.lanes))
+            mt_body_instrs=self.mt_body_estimate(params, vp.lanes),
+            tiles=vp.tiles)

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.sync import instruction_delay_bound, safe_runahead
-from ..core.vgroup import GroupDescriptor, plan_groups
+from ..core.vgroup import GroupDescriptor, plan_groups, plan_groups_in
 from ..isa import Assembler, Program, VL_GROUP, VL_PREFIX, VL_SELF, \
     VL_SINGLE, VL_SUFFIX, opcodes as op
 
@@ -199,21 +199,32 @@ class VectorKernelBuilder:
     mt_body_instrs:
         Estimated microthread length, used for the Section 4.2 runahead
         bound.
+    tiles:
+        Optional explicit, path-ordered tile region to carve groups from
+        (the serving allocator's region) instead of planning over the whole
+        mesh.  Group ids and the NGROUPS CSR are scoped to this region.
     """
 
     def __init__(self, fabric, lanes: int, frame_size: int,
                  num_slots: int = None, max_groups: int = None,
-                 mt_body_instrs: int = 16):
+                 mt_body_instrs: int = 16,
+                 tiles: Optional[Sequence[int]] = None):
         cfg = fabric.cfg
         self.fabric = fabric
         self.lanes = lanes
         self.frame_size = frame_size
         self.num_slots = num_slots
         self.set_frame_size(frame_size, num_slots)
-        self.groups, self.idle = plan_groups(cfg.mesh_width, cfg.mesh_height,
-                                             lanes, max_groups)
+        if tiles is not None:
+            self.groups, self.idle = plan_groups_in(tiles, lanes,
+                                                    max_groups)
+        else:
+            self.groups, self.idle = plan_groups(
+                cfg.mesh_width, cfg.mesh_height, lanes, max_groups)
         if not self.groups:
-            raise ValueError(f'no {lanes}-lane group fits the mesh')
+            where = f'{len(tiles)}-tile region' if tiles is not None \
+                else 'mesh'
+            raise ValueError(f'no {lanes}-lane group fits the {where}')
         self.handles = {}
         for g in self.groups:
             g.frame_size = frame_size

@@ -1,11 +1,15 @@
 """The baseline tiled manycore substrate (paper Section 3.1)."""
 
 from .config import DEFAULT_CONFIG, MachineConfig, small_config
-from .fabric import DeadlockError, Fabric, SimulationTimeout
+from .fabric import (DeadlockError, Fabric, FabricJob, JOB_DONE,
+                     JOB_DRAINING, JOB_KILLED, JOB_RUNNING,
+                     SimulationTimeout)
 from .stats import CoreStats, MemStats, RunStats
 from .tile import SimError, Tile
 from .trace import TraceEntry, Tracer
 
-__all__ = ['Fabric', 'MachineConfig', 'DEFAULT_CONFIG', 'small_config',
-           'RunStats', 'CoreStats', 'MemStats', 'Tile', 'SimError',
-           'DeadlockError', 'SimulationTimeout', 'Tracer', 'TraceEntry']
+__all__ = ['Fabric', 'FabricJob', 'MachineConfig', 'DEFAULT_CONFIG',
+           'small_config', 'RunStats', 'CoreStats', 'MemStats', 'Tile',
+           'SimError', 'DeadlockError', 'SimulationTimeout', 'Tracer',
+           'TraceEntry', 'JOB_RUNNING', 'JOB_DRAINING', 'JOB_DONE',
+           'JOB_KILLED']

@@ -10,7 +10,7 @@ preserving cycle-granular interleaving where it matters.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.vgroup import (GroupDescriptor, ROLE_EXPANDER, ROLE_SCALAR,
                            ROLE_VECTOR)
@@ -24,6 +24,12 @@ from .tile import INF, RUN, Tile, WAIT_BARRIER
 
 _MAX_DEFAULT = 200_000_000
 
+# FabricJob lifecycle states
+JOB_RUNNING = 'running'
+JOB_DRAINING = 'draining'  # tiles halted/killed, memory ops still in flight
+JOB_DONE = 'done'
+JOB_KILLED = 'killed'
+
 
 class DeadlockError(Exception):
     """No tile can make progress and no events are pending."""
@@ -31,6 +37,47 @@ class DeadlockError(Exception):
 
 class SimulationTimeout(Exception):
     """The run exceeded its cycle budget."""
+
+
+class FabricJob:
+    """One program's lifecycle on a subset of a live fabric's tiles.
+
+    The classic flow (``load_program`` + ``run``) is the degenerate case of
+    one job owning every core with a fabric-global barrier; a job scopes
+    barriers, the memory fence, halt detection, and stats attribution to
+    its own tiles so several kernels can share the fabric.  ``pending_ops``
+    counts in-flight memory operations issued by the job's tiles; the job's
+    tiles (and its mesh region) must not be reused until it drains to zero,
+    or late completions would corrupt the successor's state.
+    """
+
+    __slots__ = ('job_id', 'name', 'tiles', 'core_ids', 'program', 'state',
+                 'pending_ops', 'fence_waiting', 'launched_at',
+                 'finished_at', 'on_complete', '_drain_kind')
+
+    def __init__(self, job_id: int, name: str, tiles: List[Tile],
+                 program: Program, on_complete: Optional[Callable] = None):
+        self.job_id = job_id
+        self.name = name
+        self.tiles = tiles
+        self.core_ids = [t.core_id for t in tiles]
+        self.program = program
+        self.state = JOB_RUNNING
+        self.pending_ops = 0
+        self.fence_waiting = False
+        self.launched_at = 0
+        self.finished_at: Optional[int] = None
+        self.on_complete = on_complete
+        self._drain_kind = JOB_DONE  # final state once pending ops land
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JOB_DONE, JOB_KILLED)
+
+    def __repr__(self):
+        return (f'<FabricJob {self.job_id} {self.name!r} {self.state} '
+                f'cores={self.core_ids[0]}..{self.core_ids[-1]} '
+                f'pending={self.pending_ops}>')
 
 
 class Fabric:
@@ -54,10 +101,20 @@ class Fabric:
         self.cycle = 0
         self._heap: list = []
         self._seq = 0
+        self._pending_events: set = set()  # seqs of live (uncancelled) events
         self.group_descs: Dict[int, GroupDescriptor] = {}
         self.num_groups = 0
         self._active: List[Tile] = []
-        self._halted_dirty = False
+        self._active_dirty = False
+        self.jobs: List[FabricJob] = []
+        self._next_job_id = 0
+        #: serve-mode hook: called with the current cycle when no tile can
+        #: progress and no events are pending; return True after freeing a
+        #: wedged job to keep the fabric alive instead of raising
+        self._stall_handler: Optional[Callable[[int], bool]] = None
+        #: (request_id, job, start, end, {core: group_id}) spans recorded by
+        #: the serving scheduler for Perfetto track annotation
+        self.serve_spans: List[dict] = []
         self.trace = None  # optional Tracer (see manycore.trace)
         self.telemetry = None  # optional Telemetry (see repro.telemetry)
 
@@ -94,9 +151,27 @@ class Fabric:
         return handle
 
     # ----------------------------------------------------------------- events
-    def post(self, time: int, fn) -> None:
+    def post(self, time: int, fn) -> int:
+        """Schedule ``fn(now)``; returns a token usable with :meth:`cancel`."""
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn))
+        self._pending_events.add(self._seq)
+        return self._seq
+
+    def cancel(self, token: int) -> bool:
+        """Cancel a posted event; harmless if it already fired."""
+        if token in self._pending_events:
+            self._pending_events.discard(token)
+            return True
+        return False
+
+    def _peek_live(self) -> Optional[int]:
+        """Time of the earliest live event, discarding cancelled heads."""
+        heap = self._heap
+        pending = self._pending_events
+        while heap and heap[0][1] not in pending:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def wake_tile(self, tile: Tile, time: int) -> None:
         t = max(time, self.cycle)
@@ -108,6 +183,10 @@ class Fabric:
 
     # ------------------------------------------------------------ memory traffic
     def send_to_bank(self, req: MemRequest, now: int) -> None:
+        job = self.tiles[req.core].job
+        if job is not None:
+            req.job = job
+            job.pending_ops += 1
         bank_id = (req.addr // self.cfg.line_words) % self.cfg.llc_banks
         hops = self.noc.bank_hops(req.core, bank_id)
         self.count_hops(hops)
@@ -126,9 +205,16 @@ class Fabric:
                           now: int) -> None:
         delay = self.noc.core_delay(src, dest)
         self.count_hops(delay - 1)
-        self.post(now + delay,
-                  lambda at, d=dest, o=offset, v=value:
-                  self.spad_deliver(d, o, [v], False))
+        job = self.tiles[src].job
+        if job is not None:
+            job.pending_ops += 1
+
+        def deliver(at, d=dest, o=offset, v=value, j=job):
+            self.spad_deliver(d, o, [v], False)
+            if j is not None:
+                self.job_op_done(j, at)
+
+        self.post(now + delay, deliver)
 
     def spad_deliver(self, core: int, offset: int, values: Sequence,
                      is_frame: bool) -> None:
@@ -171,7 +257,8 @@ class Fabric:
             nxt = desc.successor(cid)
             t.successor = self.tiles[nxt] if nxt != -1 else None
             t.group_id_csr = desc.group_id
-            t.ngroups_csr = self.num_groups
+            t.ngroups_csr = (desc.total_groups if desc.total_groups
+                             is not None else self.num_groups)
             t.state = RUN
             t.in_mt = False
             t.pred = True
@@ -181,12 +268,18 @@ class Fabric:
     # ----------------------------------------------------------------- barrier
     def barrier_arrive(self, tile: Tile, now: int) -> None:
         tile.state = WAIT_BARRIER
-        self._check_barrier(now)
+        if tile.job is not None:
+            self._check_job_barrier(tile.job, now)
+        else:
+            self._check_barrier(now)
 
     def on_halt(self, tile: Tile, now: int) -> None:
-        self._halted_dirty = True
+        self._active_dirty = True
         tile.next_wake = INF
-        self._check_barrier(now)
+        if tile.job is not None:
+            self._check_job_halt(tile.job, now)
+        else:
+            self._check_barrier(now)
 
     def _check_barrier(self, now: int) -> None:
         waiting = [t for t in self._active if not t.halted]
@@ -197,14 +290,114 @@ class Fabric:
         # The barrier is also a memory fence: in-flight non-blocking stores
         # and fills must land before dependent kernels start (the paper's
         # kernels are separated by a global barrier, Section 6.1).
-        if self._heap:
-            recheck = max(t for t, _, _ in self._heap) + 1
+        if self._pending_events:
+            recheck = max(t for t, s, _ in self._heap
+                          if s in self._pending_events) + 1
             self.post(recheck, self._check_barrier)
             return
         for t in waiting:
             t.state = RUN
             t._ready_at = now + 1
             self.wake_tile(t, now + 1)
+
+    # ------------------------------------------------------------ job lifecycle
+    def launch_job(self, name: str, program: Program,
+                   core_ids: Sequence[int],
+                   on_complete: Optional[Callable] = None) -> FabricJob:
+        """Start ``program`` on ``core_ids`` while the fabric keeps running.
+
+        Ranks (thread id / ncores CSRs) are the positions in ``core_ids``,
+        so a job sees the same SPMD shape regardless of where its region
+        sits on the mesh.  ``on_complete(job, now)`` fires once every tile
+        halted (or the job was killed) *and* its in-flight memory
+        operations drained — only then is it safe to reuse the tiles.
+        """
+        now = self.cycle
+        tiles = []
+        for cid in core_ids:
+            t = self.tiles[cid]
+            if t.job is not None and not t.job.finished:
+                raise ValueError(f'core {cid} still owned by {t.job!r}')
+            tiles.append(t)
+        job = FabricJob(self._next_job_id, name, tiles, program, on_complete)
+        self._next_job_id += 1
+        job.launched_at = now
+        for rank, t in enumerate(tiles):
+            t.reset_for_job(program, 0, rank, len(tiles), job, now)
+            if t not in self._active:
+                self._active.append(t)
+        self._active_dirty = True
+        self.jobs.append(job)
+        return job
+
+    def kill_job(self, job: FabricJob, now: int) -> None:
+        """Forcibly halt a job's tiles (timeout / wedged group).
+
+        The job moves to ``draining`` until its in-flight memory operations
+        land, then ``killed``; ``on_complete`` fires at that point.  Killed
+        tiles keep their architectural junk — ``reset_for_job`` scrubs it
+        when the region is reused.
+        """
+        if job.finished or job.state == JOB_DRAINING:
+            return
+        from .tile import HALTED
+        for t in job.tiles:
+            if t.group is not None:
+                t.group._arrived.discard(t.core_id)
+            t.halted = True
+            t.state = HALTED
+            t.next_wake = INF
+        self._active_dirty = True
+        if job.pending_ops:
+            job.state = JOB_DRAINING
+            job._drain_kind = JOB_KILLED
+        else:
+            self._finish_job(job, now, JOB_KILLED)
+
+    def job_op_done(self, job: FabricJob, now: int) -> None:
+        """One of the job's in-flight memory operations completed."""
+        job.pending_ops -= 1
+        if job.pending_ops:
+            return
+        if job.fence_waiting:
+            job.fence_waiting = False
+            self._check_job_barrier(job, now)
+        if job.state == JOB_DRAINING:
+            self._finish_job(job, now, job._drain_kind)
+
+    def _check_job_barrier(self, job: FabricJob, now: int) -> None:
+        waiting = [t for t in job.tiles if not t.halted]
+        if not waiting:
+            return
+        if not all(t.state == WAIT_BARRIER for t in waiting):
+            return
+        # Job-scoped memory fence: unlike the classic global barrier we
+        # cannot wait for the event heap to empty (other jobs keep it
+        # busy), so the fence releases when *this job's* op counter drains.
+        if job.pending_ops:
+            job.fence_waiting = True
+            return
+        for t in waiting:
+            t.state = RUN
+            t._ready_at = now + 1
+            self.wake_tile(t, now + 1)
+
+    def _check_job_halt(self, job: FabricJob, now: int) -> None:
+        if job.finished or job.state == JOB_DRAINING:
+            return
+        if not all(t.halted for t in job.tiles):
+            return
+        if job.pending_ops:
+            job.state = JOB_DRAINING
+            job._drain_kind = JOB_DONE
+            return
+        self._finish_job(job, now, JOB_DONE)
+
+    def _finish_job(self, job: FabricJob, now: int, state: str) -> None:
+        job.state = state
+        job.finished_at = now
+        if job.on_complete is not None:
+            job.on_complete(job, now)
 
     # --------------------------------------------------------------------- run
     def load_program(self, program: Program,
@@ -223,6 +416,21 @@ class Fabric:
                 t.next_wake = INF
 
     def run(self, max_cycles: int = _MAX_DEFAULT) -> RunStats:
+        """Classic flow: run the loaded program to completion."""
+        self._run_loop(max_cycles, serve=False)
+        return self._finish_run()
+
+    def run_serve(self, max_cycles: int = _MAX_DEFAULT) -> RunStats:
+        """Multi-tenant flow: run until no job is live and no event pends.
+
+        Jobs launched from event callbacks (completion-driven dispatch)
+        keep the loop alive; a wedged job is routed to ``_stall_handler``
+        instead of aborting the fabric.
+        """
+        self._run_loop(max_cycles, serve=True)
+        return self._finish_run()
+
+    def _run_loop(self, max_cycles: int, serve: bool) -> None:
         tel = self.telemetry
         sampler = None
         next_sample = INF
@@ -233,13 +441,23 @@ class Fabric:
                 next_sample = sampler.next_due
         heap = self._heap
         active = [t for t in self._active if not t.halted]
-        while active:
-            now = min(t.next_wake for t in active)
-            if heap and heap[0][0] < now:
-                now = heap[0][0]
+        self._active_dirty = False
+        while True:
+            if self._active_dirty:
+                active = [t for t in self._active if not t.halted]
+                self._active_dirty = False
+            if not active and not (serve and self._pending_events):
+                break
+            now = min(t.next_wake for t in active) if active else INF
+            head = self._peek_live()
+            if head is not None and head < now:
+                now = head
             if now >= INF:
-                if heap:
-                    now = heap[0][0]
+                if head is not None:
+                    now = head
+                elif (serve and self._stall_handler is not None
+                        and self._stall_handler(self.cycle)):
+                    continue  # the handler freed a wedged job
                 else:
                     self._deadlock()
             if now > max_cycles:
@@ -249,16 +467,18 @@ class Fabric:
             if now >= next_sample:
                 sampler.take(now)
                 next_sample = sampler.next_due
+            pending = self._pending_events
             while heap and heap[0][0] <= now:
-                _, _, fn = heapq.heappop(heap)
-                fn(now)
+                _, seq, fn = heapq.heappop(heap)
+                if seq in pending:
+                    pending.discard(seq)
+                    fn(now)
             for t in active:
                 if t.next_wake <= now and not t.halted:
                     nw = t.step(now)
                     t.next_wake = nw if nw > now else now + 1
-            if self._halted_dirty:
-                active = [t for t in active if not t.halted]
-                self._halted_dirty = False
+
+    def _finish_run(self) -> RunStats:
         self._drain()
         self.run_stats.cycles = self.cycle
         for t in self.tiles:
@@ -267,22 +487,33 @@ class Fabric:
             # keeps cycles == instrs + stall_total() + idle() exact
             # (the headline run_stats.cycles keeps the last-index form)
             t.stats.cycles = self.cycle + 1
-        if tel is not None:
-            tel.finalize(self.cycle)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.cycle)
         return self.run_stats
 
     def _drain(self) -> None:
         """Flush in-flight memory events so final memory state is visible."""
         heap = self._heap
+        pending = self._pending_events
         while heap:
-            time, _, fn = heapq.heappop(heap)
+            time, seq, fn = heapq.heappop(heap)
+            if seq not in pending:
+                continue
+            pending.discard(seq)
             self.cycle = max(self.cycle, time)
             fn(self.cycle)
 
-    def _deadlock(self) -> None:
+    def _deadlock(self, tiles: Optional[Sequence[Tile]] = None) -> None:
+        """Raise :class:`DeadlockError` with a per-tile wait-state dump."""
+        raise DeadlockError(self.wait_state_dump(tiles))
+
+    def wait_state_dump(self, tiles: Optional[Sequence[Tile]] = None) -> str:
+        """Describe every stuck tile: role, blocked instruction, frame and
+        inet occupancy — the first thing one needs when a group wedges."""
+        if tiles is None:
+            tiles = self._active
         lines = ['deadlock: no runnable tile and no pending events']
-        for t in self._active:
+        for t in tiles:
             if not t.halted:
-                lines.append(f'  {t!r} stall={t._stall_cause} '
-                             f'inet={len(t.inet_in)} lq={t.lq_count}')
-        raise DeadlockError('\n'.join(lines))
+                lines.append('  ' + t.describe_wait_state())
+        return '\n'.join(lines)

@@ -29,6 +29,10 @@ class ICache:
         self.accesses = 0
         self.misses = 0
 
+    def flush(self) -> None:
+        """Invalidate every line (a new program reuses the same PCs)."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
     def fetch(self, pc: int) -> int:
         """Access the cache for PC; returns extra stall cycles (0 on hit)."""
         self.accesses += 1

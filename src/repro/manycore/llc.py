@@ -26,7 +26,7 @@ class MemRequest:
     """One request from a core to an LLC bank."""
 
     __slots__ = ('kind', 'addr', 'nwords', 'core', 'chunks', 'on_data',
-                 'value', 'is_frame', 't_issue')
+                 'value', 'is_frame', 't_issue', 'job')
 
     def __init__(self, kind: int, addr: int, nwords: int, core: int,
                  chunks=None, on_data: Optional[Callable] = None,
@@ -40,6 +40,7 @@ class MemRequest:
         self.value = value
         self.is_frame = is_frame
         self.t_issue = None  # issue cycle, set only when telemetry is on
+        self.job = None  # issuing FabricJob (serve mode); None classically
 
 
 class LLCBank:
@@ -129,6 +130,8 @@ class LLCBank:
             mem[req.addr] = req.value
             self._dirty.add(req.addr // self.line_words)
             self.stats.llc_word_writes += 1
+            if req.job is not None:
+                self.fabric.job_op_done(req.job, ready)
             return
         if req.kind == KIND_LOAD:
             self.stats.llc_word_reads += 1
@@ -142,6 +145,12 @@ class LLCBank:
                 tel.on_noc_traversal(delay)
             self.fabric.post(arrival,
                              lambda now, r=req, v=value: r.on_data(v, now))
+            if req.job is not None:
+                # posted after on_data with the same timestamp, so the job's
+                # op counter drains only once the data has landed
+                self.fabric.post(
+                    arrival,
+                    lambda now, r=req: self.fabric.job_op_done(r.job, now))
             return
         # wide access: serialized response packets per chunk.  NoC
         # traversal telemetry for these packets is *derived at drain
@@ -169,6 +178,10 @@ class LLCBank:
                     last_emit = emit
                 if arrival > last_arrival:
                     last_arrival = arrival
+        if req.job is not None:
+            self.fabric.post(
+                last_arrival,
+                lambda now, r=req: self.fabric.job_op_done(r.job, now))
         if tel is not None:
             tel.on_wide_served((req, ready, last_emit, last_arrival,
                                 self.bank_id))

@@ -110,6 +110,7 @@ class Tile:
         self.ncores_csr = 1
         self.group_id_csr = 0
         self.ngroups_csr = 0
+        self.job = None  # owning FabricJob; None in the classic flow
 
     # ------------------------------------------------------------------ wiring
     def reset_for_run(self, program, entry_pc: int, tid: int, ncores: int):
@@ -123,6 +124,49 @@ class Tile:
         self.halted = False
         self.mode = ROLE_INDEPENDENT
         self._fetch_pc = -1
+        self.job = None
+
+    def reset_for_job(self, program, entry_pc: int, tid: int, ncores: int,
+                      job, now: int) -> None:
+        """Hand this tile to a new job on a live fabric.
+
+        Unlike :meth:`reset_for_run` (fresh fabric, cycle 0) this scrubs
+        every piece of architectural and microarchitectural state a prior
+        tenant may have left — registers, scoreboard, load queue, inet
+        queue, frame config, I-cache — so the new job's behaviour (and its
+        numeric output) cannot depend on what ran here before.  The tile
+        wakes at ``now + 1``: simulated time never moves backwards.
+        """
+        self.program = program
+        self.pc = entry_pc
+        self.tid = tid
+        self.ncores_csr = ncores
+        self.job = job
+        self.regs = [0] * 64
+        self.vregs = [[0.0] * self.cfg.simd_width for _ in range(8)]
+        self._busy = [0] * 64
+        self._busy_load = [False] * 64
+        self._vbusy = [0] * 8
+        self.lq_count = 0
+        self.mode = ROLE_INDEPENDENT
+        self.state = RUN
+        self.halted = False
+        self.group = None
+        self.successor = None
+        self.lane_idx = -1
+        self.pred = True
+        self.in_mt = False
+        self.mt_pc = 0
+        self.fetch_stall_until = 0
+        self._fetch_pc = -1
+        self.next_wake = now + 1
+        self._ready_at = now + 1
+        self._stall_cause = 'other'
+        self.group_id_csr = 0
+        self.ngroups_csr = 0
+        self.inet_in.clear()
+        self.spad.reset_frames()
+        self.icache.flush()
 
     def wake(self, cycle: int) -> None:
         if cycle < self.next_wake:
@@ -721,3 +765,43 @@ class Tile:
         from ..core.vgroup import ROLE_NAMES
         return (f'<Tile {self.core_id} {ROLE_NAMES[self.mode]} pc={self.pc} '
                 f'state={self.state}>')
+
+    # ------------------------------------------------------------- diagnostics
+    def blocked_instruction(self) -> str:
+        """The instruction this tile is stuck on, best-effort by role."""
+        from ..core.vgroup import ROLE_EXPANDER as _EXP, ROLE_VECTOR as _VEC
+        if self.state == WAIT_BARRIER:
+            return 'barrier'
+        if self.state == WAIT_VCONFIG:
+            return f'vconfig (group {self.group.group_id})' \
+                if self.group else 'vconfig'
+        if self.mode == _VEC or (self.mode == _EXP and not self.in_mt):
+            msg = self.inet_in.peek(1 << 62)
+            if msg is None:
+                return '<inet empty>'
+            kind, payload = msg
+            return f'{kind} {payload!r}'
+        prog, pc = self.program, (self.mt_pc if self.in_mt else self.pc)
+        if prog is None or not 0 <= pc < len(prog.instrs):
+            return f'<pc {pc} out of range>'
+        return f'pc={pc} {prog.instrs[pc]!r}'
+
+    def describe_wait_state(self) -> str:
+        """One dump line for DeadlockError diagnostics."""
+        from ..core.vgroup import ROLE_NAMES
+        parts = [f'core {self.core_id} [{ROLE_NAMES[self.mode]}]',
+                 f'stall={self._stall_cause}',
+                 f'blocked-on: {self.blocked_instruction()}']
+        fq = self.spad.frames
+        if fq is not None:
+            parts.append(f'frames: head={fq.head} '
+                         f'open={fq.open_frames()}/{fq.num_counters} '
+                         f'counters={fq.counters}')
+        else:
+            parts.append('frames: unconfigured')
+        parts.append(f'inet-depth={len(self.inet_in)}/'
+                     f'{self.inet_in.capacity}')
+        parts.append(f'lq={self.lq_count}')
+        if self.job is not None:
+            parts.append(f'job={self.job.job_id}')
+        return '  '.join(parts)

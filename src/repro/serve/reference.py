@@ -1,0 +1,76 @@
+"""Isolated-run references for co-scheduling equivalence checks.
+
+The serving acceptance bar is *bit-identical results*: a kernel scheduled
+next to strangers on a shared fabric must produce exactly the output it
+would produce running alone.  This module builds that "alone" baseline.
+
+Equivalence holds by construction, and these helpers make the
+construction explicit: a serve region is a contiguous run of the
+serpentine path, and tiles inside a job are ranked by their position on
+that run — so a fresh fabric running the same program on the serpentine
+*prefix* of the same length sees identical ``tid`` / ``ncores`` /
+``group_id`` / ``ngroups`` CSR values, and therefore executes the exact
+same floating-point dataflow.  Array base addresses differ between the
+shared and isolated fabrics, but addresses never enter the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.vgroup import serpentine_order
+from ..kernels import registry
+from ..kernels.base import VectorParams
+from ..manycore import Fabric, RunStats
+from .request import KernelRequest
+
+
+@dataclass
+class IsolatedRun:
+    """Outputs (and cost) of one request run alone on a fresh fabric."""
+
+    outputs: Dict[str, np.ndarray]
+    cycles: int
+    stats: RunStats
+
+
+def isolated_reference(req: KernelRequest,
+                       machine=None,
+                       max_cycles: int = 200_000_000) -> IsolatedRun:
+    """Run ``req`` alone, on the serpentine prefix matching its shape."""
+    fabric = Fabric(machine) if machine is not None else Fabric()
+    bench = registry.make(req.kernel)
+    ws = bench.setup(fabric, req.params)
+    vp = VectorParams(lanes=req.lanes, max_groups=req.groups)
+    prog = bench.build_vector(fabric, ws, req.params, vp)
+    order = serpentine_order(fabric.cfg.mesh_width, fabric.cfg.mesh_height)
+    fabric.load_program(prog, active_cores=order[:req.tiles_needed])
+    stats = fabric.run(max_cycles=max_cycles)
+    bench.verify(fabric, ws, req.params)
+    return IsolatedRun(outputs=_read_outputs(fabric, bench, ws, req.params),
+                       cycles=stats.cycles, stats=stats)
+
+
+def request_outputs(fabric: Fabric,
+                    req: KernelRequest) -> Optional[Dict[str, np.ndarray]]:
+    """Read a served request's output arrays off the shared fabric.
+
+    Returns None for requests that never launched (their workspace was
+    never allocated).  Must be called after the serving run, before the
+    fabric is reused.
+    """
+    if req._ws is None or req._bench is None:
+        return None
+    return _read_outputs(fabric, req._bench, req._ws, req.params)
+
+
+def _read_outputs(fabric, bench, ws, params) -> Dict[str, np.ndarray]:
+    out = {}
+    for name, want in bench.expected(ws, params).items():
+        size = np.asarray(want, dtype=float).ravel().size
+        out[name] = np.array(fabric.read_array(ws.base(name), size),
+                             dtype=float)
+    return out

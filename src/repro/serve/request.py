@@ -1,0 +1,101 @@
+"""The serving request model.
+
+A :class:`KernelRequest` is one unit of admitted work: which kernel to
+run, at what problem size, and the *preferred group shape* — ``lanes``
+vector lanes per group times ``groups`` groups, i.e. a contiguous region
+of ``groups * (lanes + 1)`` tiles.  Requests carry a priority (higher
+dispatches first), an arrival cycle, and an optional timeout measured
+from arrival; the scheduler fills in the outcome fields as the request
+moves through its lifecycle::
+
+    queued -> running -> done
+                      \\-> failed / timed-out      (killed mid-run)
+    queued ------------> timed-out                 (expired while waiting)
+    (rejected at admission when the shape can never fit the mesh)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# lifecycle states
+QUEUED = 'queued'
+RUNNING = 'running'
+DONE = 'done'
+FAILED = 'failed'
+TIMED_OUT = 'timed-out'
+REJECTED = 'rejected'
+
+#: states a finished request can be in
+TERMINAL = (DONE, FAILED, TIMED_OUT, REJECTED)
+
+
+@dataclass
+class KernelRequest:
+    """One kernel invocation submitted to the serving scheduler."""
+
+    req_id: int
+    kernel: str
+    params: Dict[str, int]
+    lanes: int = 4
+    groups: int = 1
+    priority: int = 0
+    arrival: int = 0
+    timeout: Optional[int] = None  # cycles from arrival; None = unbounded
+
+    # outcome (filled by the scheduler)
+    state: str = QUEUED
+    launched_at: Optional[int] = None
+    finished_at: Optional[int] = None
+    error: Optional[str] = None
+    stats: Optional[object] = None  # per-request RunStats delta
+    instrs: int = 0
+
+    # scheduler-internal bookkeeping
+    _ws: object = field(default=None, repr=False)
+    _bench: object = field(default=None, repr=False)
+    _stats0: object = field(default=None, repr=False)
+    _timeout_token: Optional[int] = field(default=None, repr=False)
+    _kill_reason: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def tiles_needed(self) -> int:
+        return self.groups * (self.lanes + 1)
+
+    @property
+    def queue_wait(self) -> Optional[int]:
+        if self.launched_at is None:
+            return None
+        return self.launched_at - self.arrival
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Arrival-to-finish cycles (queue wait + service)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival
+
+    @property
+    def service_cycles(self) -> Optional[int]:
+        if self.finished_at is None or self.launched_at is None:
+            return None
+        return self.finished_at - self.launched_at
+
+    def to_dict(self) -> dict:
+        """Trace-file form (inputs only, no outcome)."""
+        return {'req_id': self.req_id, 'kernel': self.kernel,
+                'params': dict(self.params), 'lanes': self.lanes,
+                'groups': self.groups, 'priority': self.priority,
+                'arrival': self.arrival, 'timeout': self.timeout}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> 'KernelRequest':
+        return cls(req_id=int(doc['req_id']), kernel=doc['kernel'],
+                   params={k: int(v) for k, v in doc['params'].items()},
+                   lanes=int(doc.get('lanes', 4)),
+                   groups=int(doc.get('groups', 1)),
+                   priority=int(doc.get('priority', 0)),
+                   arrival=int(doc.get('arrival', 0)),
+                   timeout=(int(doc['timeout'])
+                            if doc.get('timeout') is not None else None))

@@ -1,0 +1,258 @@
+"""Multi-tenant kernel scheduler: admission queue + dispatcher.
+
+The scheduler drives one live :class:`~repro.manycore.Fabric` through
+:meth:`~repro.manycore.Fabric.run_serve`:
+
+* **admission** — request arrivals are fabric events; an arriving request
+  either enters the priority queue or is rejected outright when its group
+  shape can never fit the mesh.  The queue is the backpressure mechanism:
+  an over-subscribed trace *waits*, it does not fail.
+* **dispatch** — on every admission and every completion the queue is
+  scanned in (priority, arrival, id) order and each request whose region
+  first-fit-allocates is launched: its program is built against the
+  allocated tiles (:class:`~repro.kernels.base.VectorParams` ``tiles``),
+  and the group forms mid-simulation through the ordinary ``vconfig``
+  path.  Requests that do not fit yet stay queued (smaller later requests
+  may backfill around a blocked large one).
+* **reclamation** — a job's ``on_complete`` fires only after its tiles
+  halted *and* its in-flight memory operations drained, so freed regions
+  are immediately reusable.
+* **timeouts / wedges** — per-request timeouts are cancellable fabric
+  events that kill the job (or drop the queued request); a wedged group
+  with no timeout is caught by the fabric's stall handler, killed, and
+  reported with its wait-state dump while unrelated groups keep running.
+
+Dispatch itself is free in simulated time (programs are built host-side);
+launched tiles begin executing on the next cycle.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.vgroup import plan_groups_in
+from ..kernels import registry
+from ..kernels.base import VectorParams
+from ..manycore import Fabric, RunStats
+from ..manycore.fabric import JOB_DONE, FabricJob
+from .allocator import Region, RegionAllocator
+from .request import (DONE, FAILED, KernelRequest, QUEUED, REJECTED,
+                      RUNNING, TIMED_OUT)
+
+_MAX_DEFAULT = 200_000_000
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    requests: List[KernelRequest]
+    makespan: int
+    fabric_stats: RunStats
+    alloc_stats: object  # AllocStats
+    peak_queue_depth: int
+    peak_concurrent_jobs: int
+    merged_stats: Optional[RunStats] = None  # RunStats.merge over requests
+
+    def by_state(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.requests:
+            counts[r.state] = counts.get(r.state, 0) + 1
+        return counts
+
+    @property
+    def completed(self) -> List[KernelRequest]:
+        return [r for r in self.requests if r.state == DONE]
+
+
+class ServeScheduler:
+    """Schedules a stream of kernel requests onto one live fabric."""
+
+    def __init__(self, fabric: Fabric, verify: bool = True):
+        self.fabric = fabric
+        self.verify = verify
+        cfg = fabric.cfg
+        self.allocator = RegionAllocator(cfg.mesh_width, cfg.mesh_height)
+        self.queue: List[KernelRequest] = []
+        self.running: Dict[int, Tuple[KernelRequest, Region, FabricJob]] = {}
+        self.finished: List[KernelRequest] = []
+        self.peak_queue_depth = 0
+        self.peak_concurrent_jobs = 0
+        self._spans: Dict[int, dict] = {}  # job_id -> open serve span
+        fabric._stall_handler = self._on_stall
+
+    # -------------------------------------------------------------- admission
+    def _admit(self, req: KernelRequest, now: int) -> None:
+        if req.tiles_needed > self.allocator.num_tiles:
+            req.state = REJECTED
+            req.finished_at = now
+            req.error = (f'needs {req.tiles_needed} tiles, mesh has '
+                         f'{self.allocator.num_tiles}')
+            self.finished.append(req)
+            return
+        if req.timeout is not None:
+            req._timeout_token = self.fabric.post(
+                now + req.timeout,
+                lambda at, r=req: self._on_timeout(r, at))
+        self.queue.append(req)
+        if len(self.queue) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self.queue)
+        self._dispatch(now)
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, now: int) -> None:
+        self.queue = [r for r in self.queue if r.state == QUEUED]
+        self.queue.sort(key=lambda r: (-r.priority, r.arrival, r.req_id))
+        still_waiting: List[KernelRequest] = []
+        for req in self.queue:
+            region = self.allocator.alloc(req.tiles_needed)
+            if region is None:
+                still_waiting.append(req)
+                continue
+            self._launch(req, region, now)
+        self.queue = still_waiting
+
+    def _launch(self, req: KernelRequest, region: Region, now: int) -> None:
+        fabric = self.fabric
+        bench = registry.make(req.kernel)
+        ws = bench.setup(fabric, req.params)
+        vp = VectorParams(lanes=req.lanes, max_groups=req.groups,
+                          tiles=region.core_ids)
+        prog = bench.build_vector(fabric, ws, req.params, vp)
+        job = fabric.launch_job(f'req{req.req_id}:{req.kernel}', prog,
+                                region.core_ids,
+                                on_complete=self._on_complete)
+        req.state = RUNNING
+        req.launched_at = now
+        req._bench = bench
+        req._ws = ws
+        req._stats0 = {t.core_id: copy.copy(t.stats) for t in job.tiles}
+        self.running[job.job_id] = (req, region, job)
+        if len(self.running) > self.peak_concurrent_jobs:
+            self.peak_concurrent_jobs = len(self.running)
+        groups, _ = plan_groups_in(region.core_ids, req.lanes, req.groups)
+        span = {'request': req.req_id, 'job': job.job_id,
+                'kernel': req.kernel, 'start': now, 'end': None,
+                'cores': {cid: g.group_id for g in groups
+                          for cid in g.tiles}}
+        self._spans[job.job_id] = span
+        fabric.serve_spans.append(span)
+
+    # ------------------------------------------------------------- completion
+    def _on_complete(self, job: FabricJob, now: int) -> None:
+        req, region, _ = self.running.pop(job.job_id)
+        span = self._spans.pop(job.job_id, None)
+        if span is not None:
+            span['end'] = now
+        if req._timeout_token is not None:
+            self.fabric.cancel(req._timeout_token)
+            req._timeout_token = None
+        req.finished_at = now
+        req.stats = self._request_stats(req, job, now)
+        req.instrs = req.stats.total_instrs
+        if job.state == JOB_DONE:
+            req.state = DONE
+            if self.verify:
+                try:
+                    req._bench.verify(self.fabric, req._ws, req.params)
+                except AssertionError as exc:
+                    req.state = FAILED
+                    req.error = f'output mismatch: {exc}'
+        else:  # killed
+            req.state = (TIMED_OUT if req._kill_reason == 'timeout'
+                         else FAILED)
+            if req.error is None:
+                req.error = req._kill_reason or 'killed'
+        self.finished.append(req)
+        self.allocator.free(region)
+        self._dispatch(now)
+
+    def _request_stats(self, req: KernelRequest, job: FabricJob,
+                       now: int) -> RunStats:
+        """Per-request counter deltas, shaped as a RunStats so several
+        requests aggregate with :meth:`RunStats.merge`."""
+        import dataclasses
+        from ..manycore.stats import CoreStats
+        out = RunStats()
+        out.cycles = now - (req.launched_at or 0)
+        names = [f.name for f in dataclasses.fields(CoreStats)]
+        for t in job.tiles:
+            base = req._stats0[t.core_id]
+            delta = CoreStats()
+            for name in names:
+                setattr(delta, name,
+                        getattr(t.stats, name) - getattr(base, name))
+            delta.cycles = out.cycles
+            out.cores[t.core_id] = delta
+        return out
+
+    # ------------------------------------------------------ timeouts / wedges
+    def _on_timeout(self, req: KernelRequest, now: int) -> None:
+        if req.state == QUEUED:
+            req.state = TIMED_OUT
+            req.finished_at = now
+            req.error = (f'timed out after {req.timeout} cycles '
+                         f'in the admission queue')
+            self.finished.append(req)
+            return
+        if req.state == RUNNING:
+            req._kill_reason = 'timeout'
+            req.error = f'timed out after {req.timeout} cycles'
+            for _, (r, _, job) in list(self.running.items()):
+                if r is req:
+                    self.fabric.kill_job(job, now)
+                    break
+
+    def _on_stall(self, now: int) -> bool:
+        """Fabric stall handler: free wedged jobs instead of aborting.
+
+        When no tile can progress and no events are pending, every
+        running job is wedged (a job waiting on memory would imply a
+        pending event); kill them all, attach their wait-state dumps,
+        and let queued requests take the freed tiles.
+        """
+        if not self.running:
+            return False
+        for job_id in list(self.running):
+            req, _, job = self.running[job_id]
+            req._kill_reason = 'deadlock'
+            req.error = self.fabric.wait_state_dump(job.tiles)
+            self.fabric.kill_job(job, now)
+        return True
+
+    # -------------------------------------------------------------------- run
+    def run(self, requests: List[KernelRequest],
+            max_cycles: int = _MAX_DEFAULT) -> ServeResult:
+        """Replay a request trace to completion and collect the result."""
+        fabric = self.fabric
+        for req in sorted(requests, key=lambda r: (r.arrival, r.req_id)):
+            fabric.post(req.arrival,
+                        lambda now, r=req: self._admit(r, now))
+        fabric_stats = fabric.run_serve(max_cycles)
+        for req in requests:  # should be unreachable; never lose a request
+            if req.state in (QUEUED, RUNNING):
+                req.state = FAILED
+                req.error = req.error or 'stranded at end of serving run'
+                req.finished_at = fabric.cycle
+                self.finished.append(req)
+        ordered = sorted(requests, key=lambda r: r.req_id)
+        with_stats = [r.stats for r in ordered if r.stats is not None]
+        merged = RunStats.merge(with_stats) if with_stats else None
+        return ServeResult(requests=ordered, makespan=fabric.cycle,
+                           fabric_stats=fabric_stats,
+                           alloc_stats=self.allocator.stats,
+                           peak_queue_depth=self.peak_queue_depth,
+                           peak_concurrent_jobs=self.peak_concurrent_jobs,
+                           merged_stats=merged)
+
+
+def serve_trace(requests: List[KernelRequest],
+                fabric: Optional[Fabric] = None,
+                verify: bool = True,
+                max_cycles: int = _MAX_DEFAULT) -> ServeResult:
+    """Convenience wrapper: serve ``requests`` on a (fresh) fabric."""
+    if fabric is None:
+        fabric = Fabric()
+    return ServeScheduler(fabric, verify=verify).run(requests, max_cycles)

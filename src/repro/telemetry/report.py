@@ -166,10 +166,20 @@ def _check(doc, schema: dict, path: str, errors: List[str]) -> None:
             _check(item, schema['items'], f'{path}[{i}]', errors)
 
 
+def check_schema(doc, schema: dict, root: str = '$') -> List[str]:
+    """Validate ``doc`` against a schema; returns the error list.
+
+    Public entry point for other report kinds (the serving report reuses
+    the same practical-subset validator).
+    """
+    errors: List[str] = []
+    _check(doc, schema, root, errors)
+    return errors
+
+
 def validate_report(doc: dict) -> None:
     """Raise :class:`ReportValidationError` unless ``doc`` is schema-valid."""
-    errors: List[str] = []
-    _check(doc, REPORT_SCHEMA, '$', errors)
+    errors = check_schema(doc, REPORT_SCHEMA)
     if errors:
         raise ReportValidationError('; '.join(errors[:20]))
 

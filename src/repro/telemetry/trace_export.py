@@ -67,11 +67,15 @@ def to_chrome_trace(tracer=None, telemetry=None,
             if t.mode != ROLE_INDEPENDENT:
                 roles[t.core_id] = t.mode
 
+    serve_spans = list(getattr(fabric, 'serve_spans', None) or [])
+
     cores = set(roles)
     if tracer is not None:
         cores.update(e.core for e in tracer.entries)
     if telemetry is not None:
         cores.update(s.core for s in telemetry.spans.spans)
+    for span in serve_spans:
+        cores.update(span['cores'])
 
     for core in sorted(cores):
         role = ROLE_NAMES[roles.get(core, ROLE_INDEPENDENT)]
@@ -83,6 +87,27 @@ def to_chrome_trace(tracer=None, telemetry=None,
                        'args': {'sort_index': core}})
     events.append({'ph': 'M', 'pid': PID, 'tid': 0, 'name': 'process_name',
                    'args': {'name': 'repro fabric'}})
+
+    # -- serving spans: request occupancy annotated on every owned core ------
+    # Async (b/e) events, one per (request, core), so a core's track shows
+    # which request and vector group occupied it over time; ends are left
+    # open-ended at the final cycle for requests killed mid-flight.
+    for span in serve_spans:
+        end = span['end']
+        if end is None:
+            end = (fabric.cycle if fabric is not None else span['start']) + 1
+        for core, group_id in sorted(span['cores'].items()):
+            common = {'pid': PID, 'tid': core, 'cat': 'request',
+                      'name': f'req{span["request"]}:{span["kernel"]} '
+                              f'g{group_id}',
+                      'id': f'request-{span["request"]}-c{core}'}
+            events.append({'ph': 'b', 'ts': span['start'],
+                           'args': {'request': span['request'],
+                                    'job': span['job'],
+                                    'kernel': span['kernel'],
+                                    'group': group_id}, **common})
+            events.append({'ph': 'e', 'ts': max(end, span['start'] + 1),
+                           **common})
 
     # -- microthread spans first so instruction events nest inside them ------
     if telemetry is not None:

@@ -1,0 +1,59 @@
+"""DeadlockError must carry a per-tile wait-state dump naming the culprit."""
+
+import pytest
+
+from repro.core import GroupDescriptor
+from repro.isa import Assembler, opcodes as op
+from repro.manycore import DeadlockError, Fabric, small_config
+
+from .conftest import pack_frame_cfg
+
+
+def _wedge_vconfig(fabric):
+    """Core 0 waits at vconfig for a group whose other members halt."""
+    a = Assembler()
+    a.csrr('x1', op.CSR_COREID)
+    a.bne('x1', 'x0', 'other')
+    a.li('x3', pack_frame_cfg(16, 5))
+    a.csrw(op.CSR_FRAME_CFG, 'x3')
+    a.li('x5', 0)
+    a.vconfig('x5')
+    a.halt()
+    a.bind('other')
+    a.halt()
+    fabric.register_group(GroupDescriptor(0, [0, 1, 2]))
+    fabric.load_program(a.finish(), active_cores=[0, 1])
+
+
+class TestDeadlockDump:
+    def test_dump_names_the_wedged_tile(self):
+        fabric = Fabric(small_config())
+        _wedge_vconfig(fabric)
+        with pytest.raises(DeadlockError) as exc_info:
+            fabric.run()
+        msg = str(exc_info.value)
+        # the wedged tile, by id, with its blocking instruction
+        assert 'core 0' in msg
+        assert 'vconfig' in msg
+        # and the structural state the issue asks for
+        assert 'frames:' in msg
+        assert 'inet-depth=' in msg
+        # halted tiles are not in the dump — only the stuck ones
+        assert 'core 1' not in msg
+
+    def test_dump_reports_frame_and_queue_state(self):
+        fabric = Fabric(small_config())
+        _wedge_vconfig(fabric)
+        with pytest.raises(DeadlockError) as exc_info:
+            fabric.run()
+        line = [ln for ln in str(exc_info.value).splitlines()
+                if ln.strip().startswith('core 0')][0]
+        assert 'head=' in line and 'open=' in line
+        assert 'lq=' in line
+        assert 'blocked-on:' in line
+
+    def test_wait_state_dump_without_raising(self):
+        """The dump is also available as a plain inspection API."""
+        fabric = Fabric(small_config())
+        dump = fabric.wait_state_dump()
+        assert 'deadlock' in dump

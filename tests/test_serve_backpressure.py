@@ -1,0 +1,100 @@
+"""Acceptance: over-subscription queues (never fails); timeouts are local.
+
+A trace asking for more tiles than the mesh owns must wait in the
+admission queue, not error; a request that exceeds its deadline is
+reported timed-out without wedging the requests sharing the fabric.
+"""
+
+import pytest
+
+from repro.kernels import registry
+from repro.manycore import Fabric, MachineConfig
+from repro.serve import (DONE, FAILED, KernelRequest, REJECTED,
+                         ServeScheduler, TIMED_OUT, build_serve_report)
+
+
+def _small_fabric():
+    return Fabric(MachineConfig(mesh_width=4, mesh_height=4))
+
+
+def _req(i, kernel='mvt', **kw):
+    params = registry.make(kernel).params_for('test')
+    kw.setdefault('lanes', 4)
+    kw.setdefault('groups', 1)
+    kw.setdefault('arrival', 0)
+    return KernelRequest(req_id=i, kernel=kernel, params=params, **kw)
+
+
+class TestBackpressure:
+    def test_oversubscribed_trace_queues_and_drains(self):
+        # six 5-tile requests on a 16-tile mesh: three fit, three wait
+        reqs = [_req(i) for i in range(6)]
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        assert all(r.state == DONE for r in result.requests)
+        waited = [r for r in result.requests if r.queue_wait > 0]
+        assert len(waited) == 3, 'over-subscription must queue, not fail'
+        assert result.peak_queue_depth >= 3
+        assert result.alloc_stats.capacity_failures > 0
+        # a queued request starts only once a region frees: its launch
+        # coincides with some earlier request's completion
+        finishes = {r.finished_at for r in result.requests}
+        assert all(r.launched_at in finishes for r in waited)
+
+    def test_impossible_shape_is_rejected_not_queued(self):
+        reqs = [_req(0, groups=4)]  # 20 tiles > 16-tile mesh
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        assert result.requests[0].state == REJECTED
+        assert 'mesh has 16' in result.requests[0].error
+
+    def test_fragmentation_is_distinguished_from_capacity(self):
+        sched = ServeScheduler(_small_fabric())
+        a = sched.allocator
+        r1 = a.alloc(5)
+        r2 = a.alloc(5)
+        a.alloc(5)
+        a.free(r2)  # free list: one 5-run hole + 1-tile tail
+        assert a.alloc(6) is None
+        assert a.stats.frag_failures == 1  # 6 free tiles exist, split
+        assert a.alloc(7) is None
+        assert a.stats.capacity_failures == 1
+
+
+class TestTimeouts:
+    def test_queued_timeout_expires_without_running(self):
+        reqs = [_req(0, groups=3),                 # occupies 15/16 tiles
+                _req(1, timeout=10)]               # can never start in time
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        by_id = {r.req_id: r for r in result.requests}
+        assert by_id[0].state == DONE
+        assert by_id[1].state == TIMED_OUT
+        assert 'admission queue' in by_id[1].error
+        assert by_id[1].launched_at is None
+
+    def test_running_timeout_kills_only_its_own_group(self):
+        reqs = [_req(0, timeout=200),              # killed mid-kernel
+                _req(1, kernel='atax')]            # must be unaffected
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        by_id = {r.req_id: r for r in result.requests}
+        assert by_id[0].state == TIMED_OUT
+        assert by_id[0].error == 'timed out after 200 cycles'
+        assert by_id[1].state == DONE, \
+            'a neighbour timing out must not wedge the fabric'
+
+    def test_timeout_frees_tiles_for_queued_work(self):
+        # the killed request's region is reclaimed and reused
+        reqs = [_req(0, groups=3, timeout=300),
+                _req(1, groups=3, arrival=1)]      # needs the same tiles
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        by_id = {r.req_id: r for r in result.requests}
+        assert by_id[0].state == TIMED_OUT
+        assert by_id[1].state == DONE
+        assert by_id[1].launched_at >= 300
+
+    def test_report_counts_timeouts(self):
+        reqs = [_req(0, groups=3), _req(1, timeout=10)]
+        result = ServeScheduler(_small_fabric()).run(reqs)
+        doc = build_serve_report(result)
+        assert doc['summary']['timed_out'] == 1
+        assert doc['summary']['completed'] == 1
+        rec = [r for r in doc['requests'] if r['req_id'] == 1][0]
+        assert rec['state'] == TIMED_OUT and 'error' in rec

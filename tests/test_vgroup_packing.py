@@ -1,0 +1,98 @@
+"""Property tests for group packing: no overlap, explicit idle accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vgroup import (mesh_adjacent, plan_groups, plan_groups_in,
+                               plan_packing, serpentine_order, utilization)
+
+
+class TestPlanPacking:
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_groups_never_overlap_never_exceed_mesh(self, w, h, lanes):
+        plan = plan_packing(w, h, lanes)
+        seen = set()
+        for g in plan.groups:
+            assert len(g.tiles) == lanes + 1
+            for t in g.tiles:
+                assert 0 <= t < w * h, 'tile outside the mesh'
+                assert t not in seen, 'tile assigned to two groups'
+                seen.add(t)
+        assert seen.isdisjoint(plan.idle_tiles)
+        assert len(seen) + len(plan.idle_tiles) == w * h
+
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_group_tiles_are_serpentine_adjacent(self, w, h, lanes):
+        plan = plan_packing(w, h, lanes)
+        for g in plan.groups:
+            for a, b in zip(g.tiles, g.tiles[1:]):
+                assert mesh_adjacent(a, b, w), \
+                    f'inet link {a}->{b} not mesh-adjacent'
+
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_leftover_accounting(self, w, h, lanes):
+        plan = plan_packing(w, h, lanes)
+        # without a cap, the only idle tiles are the serpentine tail too
+        # short for one more group
+        assert len(plan.leftover_tiles) == (w * h) % (lanes + 1)
+        assert plan.capped_tiles == ()
+        assert sorted(plan.idle_tiles) == sorted(plan.leftover_tiles)
+        assert plan.utilization == 1.0 - len(plan.idle_tiles) / (w * h)
+
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 20),
+           st.integers(0, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_cap_accounting(self, w, h, lanes, cap):
+        plan = plan_packing(w, h, lanes, max_groups=cap)
+        assert len(plan.groups) <= cap
+        # idle splits exactly into the tail remainder and cap victims
+        assert set(plan.idle_tiles) == \
+            set(plan.leftover_tiles) | set(plan.capped_tiles)
+        assert set(plan.leftover_tiles).isdisjoint(plan.capped_tiles)
+        for g in plan.groups:
+            assert g.total_groups == len(plan.groups)
+
+    def test_total_groups_scopes_csr(self):
+        plan = plan_packing(8, 8, 4, max_groups=3)
+        assert all(g.total_groups == 3 for g in plan.groups)
+
+    def test_lanes_zero_rejected(self):
+        with pytest.raises(ValueError):
+            plan_packing(4, 4, 0)
+
+    def test_classic_view_unchanged(self):
+        groups, idle = plan_groups(8, 8, 4)
+        assert len(groups) == 12 and len(idle) == 4
+        assert abs(utilization(8, 8, 4) - 0.94) < 0.01
+
+
+class TestPlanGroupsIn:
+    @given(st.integers(2, 8), st.integers(2, 8),
+           st.integers(0, 20), st.integers(2, 30), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_region_carving_is_exact(self, w, h, start, length, lanes):
+        order = serpentine_order(w, h)
+        region = order[start:start + length]
+        groups, leftover = plan_groups_in(region, lanes)
+        used = [t for g in groups for t in g.tiles]
+        # groups use exactly the region prefix, in path order
+        assert used == region[:len(used)]
+        assert leftover == region[len(used):]
+        assert len(leftover) == len(region) % (lanes + 1)
+        for g in groups:
+            assert len(g.tiles) == lanes + 1
+            assert g.total_groups == len(groups)
+            for a, b in zip(g.tiles, g.tiles[1:]):
+                assert mesh_adjacent(a, b, w)
+
+    def test_matches_mesh_prefix_planning(self):
+        """A serpentine-prefix region carves exactly like plan_groups —
+        the property the isolated-reference equivalence rests on."""
+        order = serpentine_order(8, 8)
+        mesh_groups, _ = plan_groups(8, 8, 4, max_groups=3)
+        region_groups, _ = plan_groups_in(order[:15], 4, max_groups=3)
+        assert [g.tiles for g in mesh_groups] == \
+            [g.tiles for g in region_groups]
