@@ -25,7 +25,14 @@ Commands
     groups, and verified against numpy.  Omitting the trace file
     generates a deterministic seeded trace; ``--report`` writes the
     schema-checked serving report, ``--perfetto`` an annotated Chrome
-    trace.  Exits nonzero if any request failed (see docs/serving.md).
+    trace, ``--metrics-out`` JSONL metric snapshots, ``--heatmaps``
+    ASCII congestion maps, and ``--slo`` evaluates a threshold policy
+    (exit 2 on fail).  Exits nonzero if any request failed (see
+    docs/serving.md and docs/observability.md).
+``top [TRACE.json]``
+    Serve a trace with the live terminal dashboard attached: fleet
+    summary, in-flight request table, and congestion heatmaps refreshed
+    every ``--refresh`` simulated cycles.
 ``report FILE.json``
     Validate a run report against the schema and print its summary
     (CPI stack, histograms, sample count).
@@ -108,10 +115,31 @@ def cmd_serve(args):
     if args.save_trace:
         save_trace(args.save_trace, requests)
         print(f'trace: {args.save_trace} ({len(requests)} requests)')
+    policy = None
+    if args.slo:
+        from .observe import SloPolicy
+        try:
+            policy = SloPolicy.load(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f'{args.slo}: invalid SLO policy: {exc}',
+                  file=sys.stderr)
+            return 2
+    plane = None
+    if args.metrics_out or args.heatmaps:
+        from .observe import ObservePlane
+        plane = ObservePlane(snapshot_interval=args.snapshot_interval,
+                             metrics_out=args.metrics_out)
     fabric = Fabric()
+    if plane is not None:
+        plane.attach(fabric)
     result = ServeScheduler(fabric, verify=not args.no_verify).run(requests)
-    doc = build_serve_report(result, seed=seed)
+    doc = build_serve_report(result, seed=seed, slo=policy, observe=plane)
     print(render_serve_report(doc))
+    if args.metrics_out:
+        print(f'metrics: {args.metrics_out} '
+              f'({plane.snapshots} JSONL snapshots)')
+    if args.heatmaps:
+        print(plane.render_heatmaps())
     if args.report:
         with open(args.report, 'w') as f:
             json.dump(doc, f, indent=1)
@@ -131,7 +159,29 @@ def cmd_serve(args):
             print(f'request {r.req_id} ({r.kernel}) FAILED: {r.error}',
                   file=sys.stderr)
         return 1
+    if doc.get('slo', {}).get('status') == 'fail':
+        print('SLO: FAIL', file=sys.stderr)
+        return 2
     return 0
+
+
+def cmd_top(args):
+    from .observe.top import run_top
+    from .serve import FAILED, generate_trace, load_trace
+    if args.trace_file:
+        requests = load_trace(args.trace_file)
+    else:
+        requests = generate_trace(
+            seed=args.seed, n_requests=args.requests, scale=args.scale,
+            mean_interarrival=args.mean_interarrival, timeout=args.timeout)
+    result = run_top(requests, refresh=args.refresh,
+                     verify=not args.no_verify,
+                     metrics_out=args.metrics_out)
+    counts = result.by_state()
+    print(f'served {len(result.requests)} request(s) in '
+          f'{result.makespan} cycles over {result.dashboard.frames} '
+          f'dashboard frame(s): {counts}')
+    return 1 if counts.get(FAILED, 0) else 0
 
 
 def cmd_report(args):
@@ -364,6 +414,37 @@ def main(argv=None) -> int:
                         'group annotation')
     p.add_argument('--no-verify', action='store_true',
                    help='skip numpy output verification')
+    p.add_argument('--metrics-out', metavar='OUT.jsonl',
+                   help='attach the observability plane and write '
+                        'periodic metric snapshots as JSONL')
+    p.add_argument('--heatmaps', action='store_true',
+                   help='attach the observability plane and print '
+                        'NoC/LLC/inet congestion heatmaps')
+    p.add_argument('--snapshot-interval', type=int, default=5000,
+                   metavar='CYCLES',
+                   help='cycles between metric snapshots (default 5000)')
+    p.add_argument('--slo', metavar='POLICY.json',
+                   help='evaluate an SLO threshold policy; exit 2 on '
+                        'fail (see docs/observability.md)')
+
+    p = sub.add_parser('top', help='serve a trace with a live '
+                                   'terminal dashboard attached')
+    p.add_argument('trace_file', nargs='?', metavar='TRACE.json',
+                   help='request trace to replay (omit to generate a '
+                        'seeded trace)')
+    p.add_argument('--seed', type=int, default=0, metavar='N')
+    p.add_argument('--requests', type=int, default=8, metavar='N')
+    p.add_argument('--scale', choices=('test', 'bench'), default='test')
+    p.add_argument('--mean-interarrival', type=int, default=2000,
+                   metavar='CYCLES')
+    p.add_argument('--timeout', type=int, default=None, metavar='CYCLES')
+    p.add_argument('--refresh', type=int, default=5000, metavar='CYCLES',
+                   help='simulated cycles between dashboard frames '
+                        '(default 5000)')
+    p.add_argument('--metrics-out', metavar='OUT.jsonl',
+                   help='also write JSONL metric snapshots')
+    p.add_argument('--no-verify', action='store_true',
+                   help='skip numpy output verification')
 
     p = sub.add_parser('report', help='validate + summarize a run report')
     p.add_argument('file')
@@ -378,7 +459,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
-            'serve': cmd_serve, 'report': cmd_report,
+            'serve': cmd_serve, 'top': cmd_top, 'report': cmd_report,
             'compare': cmd_compare}[args.command](args)
 
 

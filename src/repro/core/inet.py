@@ -30,7 +30,7 @@ class InetQueue:
     """One tile's inet input queue: bounded, with a 1-cycle link delay."""
 
     __slots__ = ('capacity', 'hop_latency', '_q', 'stall_empty',
-                 'stall_full_upstream', 'peak_depth')
+                 'stall_full_upstream', 'peak_depth', 'pushes')
 
     def __init__(self, capacity: int = 2, hop_latency: int = 1):
         self.capacity = capacity
@@ -39,6 +39,7 @@ class InetQueue:
         self.stall_empty = 0
         self.stall_full_upstream = 0
         self.peak_depth = 0  # high-water mark, read by telemetry/reports
+        self.pushes = 0  # lifetime messages accepted (observability)
 
     def __len__(self):
         return len(self._q)
@@ -50,6 +51,7 @@ class InetQueue:
         if not self.can_accept():
             raise RuntimeError('inet queue overflow (sender must check)')
         self._q.append((now + self.hop_latency, kind, payload))
+        self.pushes += 1
         if len(self._q) > self.peak_depth:
             self.peak_depth = len(self._q)
 

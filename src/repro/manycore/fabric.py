@@ -53,7 +53,8 @@ class FabricJob:
 
     __slots__ = ('job_id', 'name', 'tiles', 'core_ids', 'program', 'state',
                  'pending_ops', 'fence_waiting', 'launched_at',
-                 'finished_at', 'on_complete', '_drain_kind')
+                 'finished_at', 'on_complete', '_drain_kind', 'rid',
+                 'rtrace')
 
     def __init__(self, job_id: int, name: str, tiles: List[Tile],
                  program: Program, on_complete: Optional[Callable] = None):
@@ -69,6 +70,8 @@ class FabricJob:
         self.finished_at: Optional[int] = None
         self.on_complete = on_complete
         self._drain_kind = JOB_DONE  # final state once pending ops land
+        self.rid: Optional[int] = None  # serving request id, if any
+        self.rtrace = None  # per-request causal trace (repro.observe)
 
     @property
     def finished(self) -> bool:
@@ -117,6 +120,7 @@ class Fabric:
         self.serve_spans: List[dict] = []
         self.trace = None  # optional Tracer (see manycore.trace)
         self.telemetry = None  # optional Telemetry (see repro.telemetry)
+        self.observe = None  # optional ObservePlane (see repro.observe)
 
     # ------------------------------------------------------------- memory setup
     def alloc(self, data_or_size, fill=0.0) -> int:
@@ -195,6 +199,9 @@ class Fabric:
         # from the wide-access record (see Telemetry._drain_events)
         if self.telemetry is not None and req.kind != KIND_WIDE:
             self.telemetry.on_noc_traversal(delay)
+        obs = self.observe
+        if obs is not None:
+            obs.on_mem_req(req)  # routes/banks derived at drain time
         self.banks[bank_id].access(req, now + delay)
 
     def send_store(self, core: int, addr: int, value, now: int) -> None:
@@ -208,6 +215,9 @@ class Fabric:
         job = self.tiles[src].job
         if job is not None:
             job.pending_ops += 1
+        obs = self.observe
+        if obs is not None:
+            obs.on_remote_store((src, dest))
 
         def deliver(at, d=dest, o=offset, v=value, j=job):
             self.spad_deliver(d, o, [v], False)
@@ -220,9 +230,16 @@ class Fabric:
                      is_frame: bool) -> None:
         tile = self.tiles[core]
         tile.spad.deliver(offset, values, is_frame)
-        if is_frame and self.telemetry is not None:
-            self.telemetry.on_frame_words(
-                (core, offset, len(values), self.cycle))
+        if is_frame:
+            if self.telemetry is not None:
+                self.telemetry.on_frame_words(
+                    (core, offset, len(values), self.cycle))
+            obs = self.observe
+            if obs is not None:
+                obs.on_frame_words((core, len(values)))
+            job = tile.job
+            if job is not None and job.rtrace is not None:
+                job.rtrace.frame_words += len(values)
         self.wake_tile(tile, self.cycle)
 
     # --------------------------------------------------------------- formation
@@ -236,6 +253,13 @@ class Fabric:
                 f'{desc.group_id} it does not belong to')
         from .tile import WAIT_VCONFIG
         tile.state = WAIT_VCONFIG
+        job = tile.job
+        if job is not None and job.rtrace is not None \
+                and tile is job.tiles[0]:
+            # the job's lead tile begins a formation wait; these cycles
+            # are the request's "launch" phase (they land in idle() and
+            # in no stall bucket, so the carve-out is exact)
+            job.rtrace.lead_wait_begin(now)
         desc._arrived.add(tile.core_id)
         if len(desc._arrived) == len(desc.tiles):
             desc._arrived.clear()
@@ -264,6 +288,10 @@ class Fabric:
             t.pred = True
             t._ready_at = now + 1
             self.wake_tile(t, now + 1)
+            job = t.job
+            if job is not None and job.rtrace is not None \
+                    and t is job.tiles[0]:
+                job.rtrace.lead_wait_end(now)
 
     # ----------------------------------------------------------------- barrier
     def barrier_arrive(self, tile: Tile, now: int) -> None:
@@ -439,6 +467,12 @@ class Fabric:
             sampler = tel.sampler
             if sampler is not None:
                 next_sample = sampler.next_due
+        obs = self.observe
+        next_obs = INF
+        if obs is not None:
+            obs.bind(self)  # idempotent; sizes heatmaps, opens the sink
+            if obs.interval:
+                next_obs = obs.next_due
         heap = self._heap
         active = [t for t in self._active if not t.halted]
         self._active_dirty = False
@@ -467,6 +501,9 @@ class Fabric:
             if now >= next_sample:
                 sampler.take(now)
                 next_sample = sampler.next_due
+            if now >= next_obs:
+                obs.take(now)
+                next_obs = obs.next_due
             pending = self._pending_events
             while heap and heap[0][0] <= now:
                 _, seq, fn = heapq.heappop(heap)
@@ -489,6 +526,8 @@ class Fabric:
             t.stats.cycles = self.cycle + 1
         if self.telemetry is not None:
             self.telemetry.finalize(self.cycle)
+        if self.observe is not None:
+            self.observe.finalize(self.cycle)
         return self.run_stats
 
     def _drain(self) -> None:

@@ -100,6 +100,13 @@ class LLCBank:
         tel = self.fabric.telemetry
         if tel is not None:
             tel.on_llc_queue(start - arrive)
+        obs = self.fabric.observe
+        if obs is not None:
+            obs.on_llc_wait((self.bank_id, start - arrive))
+        rt = req.job.rtrace if req.job is not None else None
+        if rt is not None:
+            rt.llc_wait += start - arrive
+            rt.llc_accesses += 1
         t = int(math.ceil(start)) + self.hit_latency
         self.stats.llc_accesses += 1
         if req.kind == KIND_WIDE:
@@ -109,6 +116,10 @@ class LLCBank:
             self._complete(req, t)
         else:
             self.stats.llc_misses += 1
+            if obs is not None:
+                obs.on_llc_miss(self.bank_id)
+            if rt is not None:
+                rt.llc_misses += 1
             waiting = self._mshr.get(line)
             if waiting is None:
                 self._mshr[line] = [req]

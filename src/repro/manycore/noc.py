@@ -34,6 +34,28 @@ def bank_coords(bank_id: int, num_banks: int, width: int,
     return col, height
 
 
+def route_xy(src: Tuple[int, int], dst: Tuple[int, int]) \
+        -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """XY dimension-ordered route as a list of directed links.
+
+    Matches the mesh's routing discipline (X first, then Y); used by the
+    observability plane to charge traversals to individual links when
+    building congestion heatmaps.  Pure geometry — the timing model
+    never calls this.
+    """
+    links = []
+    x, y = src
+    step = 1 if dst[0] > x else -1
+    while x != dst[0]:
+        links.append(((x, y), (x + step, y)))
+        x += step
+    step = 1 if dst[1] > y else -1
+    while y != dst[1]:
+        links.append(((x, y), (x, y + step)))
+        y += step
+    return links
+
+
 def hops_core_to_bank(core_id: int, bank_id: int, num_banks: int,
                       width: int, height: int) -> int:
     cx, cy = tile_coords(core_id, width)

@@ -112,6 +112,17 @@ class RunStats:
         """Aggregate stall cycles by cause across every core."""
         return {cause: self.total(cause) for cause in STALL_CAUSES}
 
+    def unattributed(self) -> int:
+        """Cycles no stall cause covers, summed across cores.
+
+        This is the residual the CPI-stack taxonomy cannot explain
+        (formation waits, post-halt slack, never-activated cores).
+        Surfacing it — rather than silently dropping it when several
+        runs or requests are merged — is what lets per-request phase
+        breakdowns sum exactly to latency (see repro.observe.rtrace).
+        """
+        return sum(c.idle() for c in self.cores.values())
+
     def summary(self) -> str:
         lines = [f'cycles: {self.cycles}',
                  f'instructions: {self.total_instrs}',
@@ -125,6 +136,7 @@ class RunStats:
         lines.append(f'stall cycles: {total_stall}')
         for cause, v in breakdown.items():
             lines.append(f'  {cause[len("stall_"):]:<13s} {v}')
+        lines.append(f'unattributed cycles: {self.unattributed()}')
         return '\n'.join(lines)
 
     @classmethod

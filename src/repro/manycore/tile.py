@@ -721,6 +721,9 @@ class Tile:
                                  part, lanes, self.core_id,
                                  self.cfg.line_words)
         self.stats.vloads_issued += 1
+        job = self.job
+        if job is not None and job.rtrace is not None:
+            job.rtrace.wide_issued += 1
         if expansion is None:
             return
         start, chunks = expansion

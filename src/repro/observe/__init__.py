@@ -1,0 +1,41 @@
+"""repro.observe — the serving-time observability plane.
+
+Four pieces (see docs/observability.md):
+
+* :mod:`~repro.observe.metrics` — the :class:`MetricsRegistry` of named
+  counters/gauges/log2-histograms with label support, Prometheus text
+  exposition, and JSON snapshots;
+* :mod:`~repro.observe.rtrace` — per-request causal tracing and the
+  exact phase breakdown (queue/launch/execute/frame-stall/LLC/inet +
+  ``unattributed`` residual) that sums to each request's latency;
+* :mod:`~repro.observe.heatmap` + :mod:`~repro.observe.plane` — probe
+  drain into NoC link / LLC bank / inet backpressure heatmaps, periodic
+  JSONL snapshots, and the attach/detach lifecycle (side-effect-free:
+  simulated cycles are bit-identical with the plane attached);
+* :mod:`~repro.observe.slo` — threshold policies over serving summaries
+  with pass/warn/fail evaluation for CI gating.
+
+``repro.observe.top`` (the live dashboard) is intentionally *not*
+imported here: it depends on :mod:`repro.serve`, which imports this
+package.
+"""
+
+from .heatmap import Heatmap, LinkHeatmap, RAMP
+from .metrics import (COUNTER, GAUGE, HISTOGRAM, Counter, Gauge,
+                      MetricFamily, MetricsRegistry)
+from .plane import ObservePlane
+from .rtrace import (BREAKDOWN_PHASES, RequestTrace, apportion,
+                     breakdown_total, build_breakdown, merge_breakdowns)
+from .slo import (FAIL, PASS, SLO_SECTION_SCHEMA, WARN, SloPolicy,
+                  evaluate_slo, render_slo)
+
+__all__ = [
+    'Heatmap', 'LinkHeatmap', 'RAMP',
+    'COUNTER', 'GAUGE', 'HISTOGRAM', 'Counter', 'Gauge',
+    'MetricFamily', 'MetricsRegistry',
+    'ObservePlane',
+    'BREAKDOWN_PHASES', 'RequestTrace', 'apportion', 'breakdown_total',
+    'build_breakdown', 'merge_breakdowns',
+    'FAIL', 'PASS', 'SLO_SECTION_SCHEMA', 'WARN', 'SloPolicy',
+    'evaluate_slo', 'render_slo',
+]

@@ -1,0 +1,139 @@
+"""SLO tracking: threshold policies evaluated against serving summaries.
+
+A policy is a JSON object mapping summary metrics to thresholds::
+
+    {
+      "latency_p99":      {"warn": 40000, "fail": 80000},
+      "queue_wait_mean":  {"warn": 5000},
+      "rejected":         {"fail": 0},
+      "tile_utilization": {"warn": 0.2, "kind": "min"}
+    }
+
+``kind`` is ``max`` (default: the metric must stay *at or below* the
+threshold) or ``min`` (must stay at or above — utilization,
+throughput).  Evaluation yields one row per rule plus an overall
+``pass`` / ``warn`` / ``fail`` status; the serving report embeds the
+result as a schema-checked ``slo`` section, and the CLI exits non-zero
+on ``fail`` so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+PASS = 'pass'
+WARN = 'warn'
+FAIL = 'fail'
+
+#: summary metrics a policy may reference (all produced by
+#: :func:`repro.serve.report.build_serve_report`)
+KNOWN_METRICS = ('latency_mean', 'latency_p50', 'latency_p95',
+                 'latency_p99', 'queue_wait_mean', 'peak_queue_depth',
+                 'rejected', 'failed', 'timed_out',
+                 'throughput_per_mcycle', 'tile_utilization')
+
+SLO_SECTION_SCHEMA = {
+    'type': 'object',
+    'required': ['status', 'rules'],
+    'properties': {
+        'status': {'type': 'string', 'enum': [PASS, WARN, FAIL]},
+        'rules': {
+            'type': 'array',
+            'items': {
+                'type': 'object',
+                'required': ['metric', 'value', 'status'],
+                'properties': {
+                    'metric': {'type': 'string'},
+                    'value': {'type': 'number'},
+                    'kind': {'type': 'string', 'enum': ['max', 'min']},
+                    'warn': {'type': 'number'},
+                    'fail': {'type': 'number'},
+                    'status': {'type': 'string',
+                               'enum': [PASS, WARN, FAIL]},
+                },
+            },
+        },
+    },
+}
+
+
+class SloPolicy:
+    """A named set of threshold rules over serving-summary metrics."""
+
+    def __init__(self, rules: Dict[str, dict], name: str = 'slo'):
+        self.name = name
+        self.rules = {}
+        for metric, rule in rules.items():
+            if metric not in KNOWN_METRICS:
+                raise ValueError(
+                    f'unknown SLO metric {metric!r}; choose from '
+                    f'{", ".join(KNOWN_METRICS)}')
+            kind = rule.get('kind', 'max')
+            if kind not in ('max', 'min'):
+                raise ValueError(f'{metric}: kind must be max or min, '
+                                 f'not {kind!r}')
+            if 'warn' not in rule and 'fail' not in rule:
+                raise ValueError(f'{metric}: rule needs a warn or fail '
+                                 f'threshold')
+            self.rules[metric] = {'kind': kind,
+                                  'warn': rule.get('warn'),
+                                  'fail': rule.get('fail')}
+
+    @classmethod
+    def load(cls, path: str) -> 'SloPolicy':
+        with open(path) as f:
+            doc = json.load(f)
+        return cls(doc, name=path)
+
+    def evaluate(self, summary: dict) -> dict:
+        """Evaluate every rule against a serving-report summary."""
+        rows = []
+        worst = PASS
+        order = {PASS: 0, WARN: 1, FAIL: 2}
+        for metric, rule in sorted(self.rules.items()):
+            value = float(summary.get(metric, 0.0))
+            status = _judge(value, rule)
+            if order[status] > order[worst]:
+                worst = status
+            row = {'metric': metric, 'value': value,
+                   'kind': rule['kind'], 'status': status}
+            if rule['warn'] is not None:
+                row['warn'] = float(rule['warn'])
+            if rule['fail'] is not None:
+                row['fail'] = float(rule['fail'])
+            rows.append(row)
+        return {'status': worst, 'rules': rows}
+
+
+def _judge(value: float, rule: dict) -> str:
+    if rule['kind'] == 'min':
+        if rule['fail'] is not None and value < rule['fail']:
+            return FAIL
+        if rule['warn'] is not None and value < rule['warn']:
+            return WARN
+        return PASS
+    if rule['fail'] is not None and value > rule['fail']:
+        return FAIL
+    if rule['warn'] is not None and value > rule['warn']:
+        return WARN
+    return PASS
+
+
+def evaluate_slo(policy: Optional[SloPolicy], summary: dict) \
+        -> Optional[dict]:
+    return policy.evaluate(summary) if policy is not None else None
+
+
+def render_slo(slo: dict) -> str:
+    lines = [f'SLO: {slo["status"].upper()}']
+    for r in slo['rules']:
+        op = '>=' if r.get('kind') == 'min' else '<='
+        bounds = []
+        if 'warn' in r:
+            bounds.append(f'warn {op} {r["warn"]:g}')
+        if 'fail' in r:
+            bounds.append(f'fail {op} {r["fail"]:g}')
+        lines.append(f'  [{r["status"]:4}] {r["metric"]:24} '
+                     f'{r["value"]:g}  ({", ".join(bounds)})')
+    return '\n'.join(lines)

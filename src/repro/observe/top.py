@@ -1,0 +1,122 @@
+"""``repro top`` — a live terminal dashboard over a serving fabric.
+
+The dashboard rides the plane's snapshot callback: every time the
+:class:`~repro.observe.ObservePlane` takes a periodic snapshot (driven
+by the fabric clock inside a running ``serve_trace`` loop) the dashboard
+repaints one frame — fleet summary, serving gauges, the in-flight
+request table, and the three congestion heatmaps.  On a TTY frames
+repaint in place with ANSI cursor control; on a plain stream (CI logs,
+tests) frames are appended, which doubles as a cheap flight recorder.
+
+This module imports from :mod:`repro.serve`, so it is *not* re-exported
+from ``repro.observe`` (the serve package imports the observe core; the
+dashboard sits above both).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ..manycore import Fabric
+from ..serve.request import KernelRequest
+from ..serve.scheduler import ServeResult, ServeScheduler
+from .plane import ObservePlane
+
+_CLEAR = '\x1b[2J\x1b[H'
+
+
+class TopDashboard:
+    """Renders plane snapshots as top(1)-style frames."""
+
+    def __init__(self, plane: ObservePlane, scheduler=None,
+                 stream=None, max_rows: int = 12,
+                 use_ansi: Optional[bool] = None):
+        self.plane = plane
+        self.scheduler = scheduler
+        self.stream = stream if stream is not None else sys.stdout
+        self.max_rows = max_rows
+        if use_ansi is None:
+            use_ansi = bool(getattr(self.stream, 'isatty', lambda: False)())
+        self.use_ansi = use_ansi
+        self.frames = 0
+
+    def install(self) -> 'TopDashboard':
+        """Become the plane's snapshot callback."""
+        self.plane.on_snapshot = self._on_snapshot
+        return self
+
+    # ------------------------------------------------------------------ frames
+    def _on_snapshot(self, plane: ObservePlane, now: int) -> None:
+        frame = self.render_frame(now)
+        if self.use_ansi:
+            self.stream.write(_CLEAR + frame + '\n')
+        else:
+            self.stream.write(frame + '\n\n')
+        self.stream.flush()
+        self.frames += 1
+
+    def render_frame(self, now: int) -> str:
+        plane = self.plane
+        snap = plane.registry.snapshot()
+        lines = [f'repro top — cycle {now}  (snapshot {plane.snapshots})']
+        sched = self.scheduler
+        if sched is not None:
+            done = sum(1 for r in sched.finished if r.state == 'done')
+            bad = len(sched.finished) - done
+            lines.append(
+                f'requests: {len(sched.running)} running, '
+                f'{len(sched.queue)} queued, {done} done, {bad} failed'
+                f'/other; peak {sched.peak_concurrent_jobs} concurrent')
+        lat = snap.get('serve_latency_cycles')
+        if isinstance(lat, dict) and lat.get('count'):
+            lines.append(
+                f'latency: p50 {lat["p50"]:.0f}  p99 {lat["p99"]:.0f}  '
+                f'mean {lat["mean"]:.0f}  over {lat["count"]} completed')
+        lines.append(
+            f'fabric: {snap.get("tiles_active", 0)} tiles active, '
+            f'{snap.get("inet_queue_depth_total", 0)} inet msgs, '
+            f'{snap.get("noc_words_total", 0)} NoC words moved')
+
+        rows = sorted(plane.inflight.values(),
+                      key=lambda r: (r['state'], r['req_id']))
+        if rows:
+            lines.append(f'{"id":>4} {"kernel":10} {"state":8} '
+                         f'{"tiles":>5} {"prio":>4} {"since":>9}')
+            for row in rows[:self.max_rows]:
+                lines.append(
+                    f'{row["req_id"]:>4} {row["kernel"]:10} '
+                    f'{row["state"]:8} {row["tiles"]:>5} '
+                    f'{row["priority"]:>4} {row["since"]:>9}')
+            if len(rows) > self.max_rows:
+                lines.append(f'  ... {len(rows) - self.max_rows} more')
+        lines.append('')
+        lines.append(plane.render_heatmaps())
+        return '\n'.join(lines)
+
+
+def run_top(requests: List[KernelRequest],
+            fabric: Optional[Fabric] = None,
+            refresh: int = 5000,
+            stream=None,
+            verify: bool = True,
+            metrics_out: Optional[str] = None,
+            max_cycles: int = 200_000_000) -> ServeResult:
+    """Serve ``requests`` with a live dashboard attached.
+
+    Returns the :class:`~repro.serve.scheduler.ServeResult`; the
+    dashboard object is reachable as ``result.dashboard`` for callers
+    that want the frame count (tests, the CLI footer).
+    """
+    if fabric is None:
+        fabric = Fabric()
+    plane = ObservePlane(snapshot_interval=refresh,
+                         metrics_out=metrics_out)
+    plane.attach(fabric)
+    scheduler = ServeScheduler(fabric, verify=verify)
+    dash = TopDashboard(plane, scheduler=scheduler, stream=stream)
+    dash.install()
+    result = scheduler.run(requests, max_cycles)
+    result.dashboard = dash
+    result.plane = plane
+    return result

@@ -12,10 +12,10 @@ bit-identical to an isolated run.
 
 from .allocator import AllocStats, Region, RegionAllocator
 from .reference import IsolatedRun, isolated_reference, request_outputs
-from .report import (SERVE_REPORT_KIND, SERVE_REPORT_SCHEMA,
-                     build_serve_report, load_serve_report,
-                     render_serve_report, store_serve_report, trace_key,
-                     validate_serve_report)
+from .report import (BREAKDOWN_SCHEMA, SERVE_REPORT_KIND,
+                     SERVE_REPORT_SCHEMA, build_serve_report,
+                     load_serve_report, render_serve_report,
+                     store_serve_report, trace_key, validate_serve_report)
 from .request import (DONE, FAILED, KernelRequest, QUEUED, REJECTED,
                       RUNNING, TERMINAL, TIMED_OUT)
 from .scheduler import ServeResult, ServeScheduler, serve_trace
@@ -25,7 +25,8 @@ from .tracegen import (DEFAULT_KERNELS, DEFAULT_SHAPES, generate_trace,
 __all__ = [
     'AllocStats', 'Region', 'RegionAllocator',
     'IsolatedRun', 'isolated_reference', 'request_outputs',
-    'SERVE_REPORT_KIND', 'SERVE_REPORT_SCHEMA', 'build_serve_report',
+    'BREAKDOWN_SCHEMA', 'SERVE_REPORT_KIND', 'SERVE_REPORT_SCHEMA',
+    'build_serve_report',
     'load_serve_report', 'render_serve_report', 'store_serve_report',
     'trace_key', 'validate_serve_report',
     'DONE', 'FAILED', 'KernelRequest', 'QUEUED', 'REJECTED', 'RUNNING',

@@ -14,6 +14,8 @@ import hashlib
 import json
 from typing import List, Optional
 
+from ..observe import BREAKDOWN_PHASES, SLO_SECTION_SCHEMA, \
+    merge_breakdowns
 from ..telemetry.report import (ReportValidationError, _generated,
                                 check_schema)
 from .request import DONE, FAILED, KernelRequest, REJECTED, TIMED_OUT
@@ -24,6 +26,13 @@ SERVE_REPORT_KIND = 'repro-serve-report'
 
 _COUNTER = {'type': 'integer', 'minimum': 0}
 _NUMBER = {'type': 'number'}
+
+#: the per-request phase breakdown (exact: phases sum to latency)
+BREAKDOWN_SCHEMA = {
+    'type': 'object',
+    'required': list(BREAKDOWN_PHASES),
+    'properties': {p: _COUNTER for p in BREAKDOWN_PHASES},
+}
 
 REQUEST_RECORD_SCHEMA = {
     'type': 'object',
@@ -48,6 +57,7 @@ REQUEST_RECORD_SCHEMA = {
         'latency': _COUNTER,
         'instrs': _COUNTER,
         'error': {'type': 'string'},
+        'breakdown': BREAKDOWN_SCHEMA,
     },
 }
 
@@ -94,8 +104,11 @@ SERVE_REPORT_SCHEMA = {
                 'latency_mean': _NUMBER,
                 'latency_p50': _NUMBER,
                 'latency_p95': _NUMBER,
+                'latency_p99': _NUMBER,
                 'queue_wait_mean': _NUMBER,
                 'total_instrs': _COUNTER,
+                'tile_utilization': _NUMBER,
+                'breakdown_totals': BREAKDOWN_SCHEMA,
             },
         },
         'allocator': {
@@ -111,6 +124,16 @@ SERVE_REPORT_SCHEMA = {
             },
         },
         'requests': {'type': 'array', 'items': REQUEST_RECORD_SCHEMA},
+        'slo': SLO_SECTION_SCHEMA,
+        'observability': {
+            'type': 'object',
+            'required': ['snapshots', 'metrics', 'heatmaps'],
+            'properties': {
+                'snapshots': _COUNTER,
+                'metrics': {'type': 'object'},
+                'heatmaps': {'type': 'object'},
+            },
+        },
     },
 }
 
@@ -132,8 +155,16 @@ def _percentile(values: List[int], q: float) -> float:
 
 def build_serve_report(result: ServeResult,
                        seed: Optional[int] = None,
-                       mesh: str = '') -> dict:
-    """Assemble (and validate) the serving report document."""
+                       mesh: str = '',
+                       slo=None,
+                       observe=None) -> dict:
+    """Assemble (and validate) the serving report document.
+
+    ``slo`` is an optional :class:`~repro.observe.SloPolicy` evaluated
+    against the summary into a schema-checked ``slo`` section;
+    ``observe`` an optional :class:`~repro.observe.ObservePlane` whose
+    metrics + heatmaps land in an ``observability`` section.
+    """
     reqs = result.requests
     counts = result.by_state()
     latencies = [r.latency for r in reqs
@@ -161,7 +192,11 @@ def build_serve_report(result: ServeResult,
             rec['service_cycles'] = r.service_cycles
         if r.error is not None:
             rec['error'] = r.error
+        if r.breakdown is not None:
+            rec['breakdown'] = dict(r.breakdown)
         records.append(rec)
+    busy = sum(r.tiles_needed * r.service_cycles for r in reqs
+               if r.service_cycles is not None)
     summary = {
         'makespan_cycles': makespan,
         'completed': counts.get(DONE, 0),
@@ -176,10 +211,18 @@ def build_serve_report(result: ServeResult,
                          if latencies else 0.0),
         'latency_p50': _percentile(latencies, 0.50),
         'latency_p95': _percentile(latencies, 0.95),
+        'latency_p99': _percentile(latencies, 0.99),
         'queue_wait_mean': sum(waits) / len(waits) if waits else 0.0,
+        'tile_utilization': (busy / (result.num_tiles * makespan)
+                             if result.num_tiles and makespan else 0.0),
     }
     if result.merged_stats is not None:
         summary['total_instrs'] = result.merged_stats.total_instrs
+    breakdowns = [r.breakdown for r in reqs if r.breakdown is not None]
+    if breakdowns:
+        # phase totals including the unattributed residual — never
+        # silently dropped in aggregation
+        summary['breakdown_totals'] = merge_breakdowns(breakdowns)
     st = result.alloc_stats
     doc = {
         'schema_version': SERVE_SCHEMA_VERSION,
@@ -196,6 +239,10 @@ def build_serve_report(result: ServeResult,
     }
     if seed is not None:
         doc['trace']['seed'] = seed
+    if slo is not None:
+        doc['slo'] = slo.evaluate(summary)
+    if observe is not None:
+        doc['observability'] = observe.report_dict()
     validate_serve_report(doc)
     return doc
 
@@ -250,4 +297,13 @@ def render_serve_report(doc: dict) -> str:
         f'allocator: {a["allocs"]} allocs, {a["frag_failures"]} '
         f'fragmentation stalls, {a["capacity_failures"]} capacity '
         f'stalls, peak {a["peak_tiles_busy"]} tiles busy')
+    totals = s.get('breakdown_totals')
+    if totals:
+        grand = sum(totals.values()) or 1
+        lines.append('cycle attribution (all completed requests): ' +
+                     '  '.join(f'{phase} {v} ({v * 100 // grand}%)'
+                               for phase, v in totals.items()))
+    if 'slo' in doc:
+        from ..observe import render_slo
+        lines.append(render_slo(doc['slo']))
     return '\n'.join(lines)

@@ -51,6 +51,9 @@ class KernelRequest:
     error: Optional[str] = None
     stats: Optional[object] = None  # per-request RunStats delta
     instrs: int = 0
+    #: phase breakdown summing exactly to ``latency``
+    #: (see repro.observe.rtrace.build_breakdown)
+    breakdown: Optional[Dict[str, int]] = None
 
     # scheduler-internal bookkeeping
     _ws: object = field(default=None, repr=False)
@@ -58,6 +61,7 @@ class KernelRequest:
     _stats0: object = field(default=None, repr=False)
     _timeout_token: Optional[int] = field(default=None, repr=False)
     _kill_reason: Optional[str] = field(default=None, repr=False)
+    _rtrace: object = field(default=None, repr=False)
 
     @property
     def tiles_needed(self) -> int:

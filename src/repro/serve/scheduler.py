@@ -37,6 +37,7 @@ from ..kernels import registry
 from ..kernels.base import VectorParams
 from ..manycore import Fabric, RunStats
 from ..manycore.fabric import JOB_DONE, FabricJob
+from ..observe import RequestTrace, build_breakdown
 from .allocator import Region, RegionAllocator
 from .request import (DONE, FAILED, KernelRequest, QUEUED, REJECTED,
                       RUNNING, TIMED_OUT)
@@ -55,6 +56,7 @@ class ServeResult:
     peak_queue_depth: int
     peak_concurrent_jobs: int
     merged_stats: Optional[RunStats] = None  # RunStats.merge over requests
+    num_tiles: int = 0  # mesh size, for tile-utilization SLOs
 
     def by_state(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -91,6 +93,7 @@ class ServeScheduler:
             req.error = (f'needs {req.tiles_needed} tiles, mesh has '
                          f'{self.allocator.num_tiles}')
             self.finished.append(req)
+            self._notify(req, now)
             return
         if req.timeout is not None:
             req._timeout_token = self.fabric.post(
@@ -99,7 +102,14 @@ class ServeScheduler:
         self.queue.append(req)
         if len(self.queue) > self.peak_queue_depth:
             self.peak_queue_depth = len(self.queue)
+        self._notify(req, now)
         self._dispatch(now)
+
+    def _notify(self, req: KernelRequest, now: int) -> None:
+        """Tell the observability plane about a state change (rare)."""
+        obs = self.fabric.observe
+        if obs is not None:
+            obs.on_request_state(req, now, scheduler=self)
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self, now: int) -> None:
@@ -124,11 +134,16 @@ class ServeScheduler:
         job = fabric.launch_job(f'req{req.req_id}:{req.kernel}', prog,
                                 region.core_ids,
                                 on_complete=self._on_complete)
+        # request id + causal trace ride the job into wide-access issue,
+        # LLC queue entries, frame fills, and group formation
+        job.rid = req.req_id
+        job.rtrace = req._rtrace = RequestTrace(req.req_id)
         req.state = RUNNING
         req.launched_at = now
         req._bench = bench
         req._ws = ws
         req._stats0 = {t.core_id: copy.copy(t.stats) for t in job.tiles}
+        self._notify(req, now)
         self.running[job.job_id] = (req, region, job)
         if len(self.running) > self.peak_concurrent_jobs:
             self.peak_concurrent_jobs = len(self.running)
@@ -165,7 +180,9 @@ class ServeScheduler:
                          else FAILED)
             if req.error is None:
                 req.error = req._kill_reason or 'killed'
+        req.breakdown = build_breakdown(req)
         self.finished.append(req)
+        self._notify(req, now)
         self.allocator.free(region)
         self._dispatch(now)
 
@@ -196,6 +213,7 @@ class ServeScheduler:
             req.error = (f'timed out after {req.timeout} cycles '
                          f'in the admission queue')
             self.finished.append(req)
+            self._notify(req, now)
             return
         if req.state == RUNNING:
             req._kill_reason = 'timeout'
@@ -245,7 +263,8 @@ class ServeScheduler:
                            alloc_stats=self.allocator.stats,
                            peak_queue_depth=self.peak_queue_depth,
                            peak_concurrent_jobs=self.peak_concurrent_jobs,
-                           merged_stats=merged)
+                           merged_stats=merged,
+                           num_tiles=fabric.cfg.num_cores)
 
 
 def serve_trace(requests: List[KernelRequest],

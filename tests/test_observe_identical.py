@@ -1,0 +1,95 @@
+"""The observability plane is side-effect-free (bit-identical runs).
+
+Acceptance: a serve run with the plane attached produces bit-identical
+per-request cycle counts and kernel outputs to an unobserved run, and
+attach/detach round-trips leave the fabric unobserved.
+"""
+
+import numpy as np
+
+from repro.kernels import registry
+from repro.kernels.base import VectorParams
+from repro.manycore import Fabric
+from repro.observe import MetricsRegistry, ObservePlane
+from repro.serve import KernelRequest, ServeScheduler, request_outputs
+
+
+def _requests():
+    def req(i, kernel, arrival, groups=1, **kw):
+        params = registry.make(kernel).params_for('test')
+        return KernelRequest(req_id=i, kernel=kernel, params=params,
+                             lanes=4, groups=groups, arrival=arrival, **kw)
+    return [req(0, 'mvt', arrival=0, groups=2),
+            req(1, 'gesummv', arrival=0),
+            req(2, 'atax', arrival=50, groups=2),
+            req(3, 'gesummv', arrival=120, priority=1)]
+
+
+def _serve(plane=None):
+    fabric = Fabric()
+    if plane is not None:
+        plane.attach(fabric)
+    result = ServeScheduler(fabric).run(_requests())
+    outputs = {r.req_id: request_outputs(fabric, r)
+               for r in result.requests}
+    return fabric, result, outputs
+
+
+def _fingerprint(result):
+    return [(r.req_id, r.state, r.launched_at, r.finished_at,
+             r.latency, r.service_cycles, r.instrs,
+             tuple(sorted((cid, cs.instrs, cs.stall_total())
+                          for cid, cs in r.stats.cores.items())))
+            for r in result.requests] + [result.makespan]
+
+
+def test_serve_bit_identical_with_plane_attached():
+    _, base, base_out = _serve()
+    plane = ObservePlane(snapshot_interval=1500)
+    _, observed, obs_out = _serve(plane)
+    assert _fingerprint(base) == _fingerprint(observed)
+    for rid in base_out:
+        assert base_out[rid].keys() == obs_out[rid].keys()
+        for name in base_out[rid]:
+            assert np.array_equal(base_out[rid][name], obs_out[rid][name])
+    # and the plane actually observed the run
+    assert plane.snapshots > 0
+    snap = plane.registry.snapshot()
+    assert snap['noc_words_total'] > 0
+    assert snap['serve_requests_total']
+
+
+def test_classic_run_bit_identical_with_plane_attached():
+    def run(observe):
+        fabric = Fabric()
+        if observe:
+            ObservePlane(snapshot_interval=500).attach(fabric)
+        bench = registry.make('gemm')
+        params = bench.params_for('test')
+        ws = bench.setup(fabric, params)
+        prog = bench.build_vector(fabric, ws, params,
+                                  VectorParams(lanes=4, max_groups=2))
+        fabric.load_program(prog)
+        stats = fabric.run()
+        bench.verify(fabric, ws, params)
+        return (stats.cycles, stats.total_instrs, stats.noc_word_hops,
+                stats.mem.llc_accesses, stats.mem.llc_misses,
+                tuple(sorted((cid, cs.instrs, cs.stall_total())
+                             for cid, cs in stats.cores.items())))
+    assert run(False) == run(True)
+
+
+def test_attach_detach_roundtrip():
+    fabric = Fabric()
+    registry_ = MetricsRegistry()
+    plane = ObservePlane(registry=registry_, snapshot_interval=0)
+    plane.attach(fabric)
+    assert fabric.observe is plane
+    assert plane.registry is registry_
+    plane.detach(fabric)
+    assert fabric.observe is None
+    # detaching a foreign plane is a no-op on the installed one
+    other = ObservePlane()
+    other.attach(fabric)
+    plane.detach(fabric)
+    assert fabric.observe is other

@@ -1,0 +1,147 @@
+"""Unit tests: MetricsRegistry, apportioning, heatmaps, SLO policies."""
+
+import pytest
+
+from repro.observe import (Heatmap, LinkHeatmap, MetricsRegistry,
+                           SloPolicy, apportion, render_slo)
+from repro.observe.metrics import _label_key, _label_str
+
+
+class TestRegistry:
+    def test_counters_gauges_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter('reqs_total', 'requests')
+        c.inc()
+        c.inc(4)
+        c.labels(kernel='gemm').inc(2)
+        c.labels(kernel='mvt').inc()
+        g = reg.gauge('depth')
+        g.set(7)
+        g.dec(2)
+        snap = reg.snapshot()
+        assert snap['reqs_total'] == {'': 5, 'kernel="gemm"': 2,
+                                      'kernel="mvt"': 1}
+        assert snap['depth'] == 5
+        assert reg.counter('reqs_total') is c  # same family, idempotent
+        assert len(reg) == 2 and 'depth' in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter('x')
+        with pytest.raises(ValueError):
+            reg.gauge('x')
+
+    def test_histogram_and_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram('lat_cycles', 'latency', unit='cycles')
+        for v in (1, 2, 4, 8, 100):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap['lat_cycles']['count'] == 5
+        assert snap['lat_cycles']['max'] == 100.0
+        reg.counter('n_total', 'things').inc(3)
+        text = reg.to_prometheus()
+        assert '# TYPE lat_cycles histogram' in text
+        assert '# HELP n_total things' in text
+        assert 'n_total 3' in text
+        assert 'lat_cycles_count 5' in text
+        assert 'lat_cycles_sum 115' in text
+        # bucket counts are cumulative and end at +Inf == count
+        lines = [ln for ln in text.splitlines() if '_bucket' in ln]
+        assert lines[-1].endswith(' 5') and 'le="+Inf"' in lines[-1]
+        cums = [int(ln.rsplit(' ', 1)[1]) for ln in lines]
+        assert cums == sorted(cums)
+
+    def test_label_keys_are_order_insensitive(self):
+        assert _label_key({'a': 1, 'b': 2}) == _label_key({'b': 2, 'a': 1})
+        assert _label_str(_label_key({'b': 2, 'a': 1})) == 'a="1",b="2"'
+
+
+class TestApportion:
+    def test_exact_and_proportional(self):
+        shares = apportion(100, {'a': 3, 'b': 1})
+        assert shares == {'a': 75, 'b': 25}
+
+    def test_largest_remainder_sums_exactly(self):
+        for total in (1, 7, 97, 1000):
+            shares = apportion(total, {'a': 1, 'b': 1, 'c': 1})
+            assert sum(shares.values()) == total
+        shares = apportion(10, {'a': 1, 'b': 1, 'c': 1})
+        assert sum(shares.values()) == 10 and max(shares.values()) == 4
+
+    def test_zero_weights_and_zero_total(self):
+        assert apportion(0, {'a': 1}) == {'a': 0}
+        shares = apportion(9, {'a': 0, 'b': 0, 'unattributed': 0})
+        assert shares == {'a': 0, 'b': 0, 'unattributed': 9}
+
+    def test_deterministic(self):
+        w = {'x': 1.1, 'y': 2.3, 'z': 0.6}
+        assert apportion(17, w) == apportion(17, dict(w))
+
+
+class TestHeatmap:
+    def test_grid_render_and_dict(self):
+        hm = Heatmap('t', 3, 2, unit='w')
+        hm.add(0, 0, 10)
+        hm.add(2, 1, 5)
+        assert hm.peak() == 10 and hm.total() == 15
+        text = hm.render()
+        assert text.startswith('t  (peak 10 w)')
+        assert '@' in text  # hottest cell uses the top ramp glyph
+        d = hm.to_dict()
+        assert d['cells'][0][0] == 10 and d['width'] == 3
+        hm.clear()
+        assert hm.total() == 0
+
+    def test_link_heatmap_projects_routes(self):
+        from repro.manycore.noc import route_xy
+        lh = LinkHeatmap(4, 4)
+        route = route_xy((0, 0), (3, 0))
+        assert len(route) == 3  # three X hops
+        lh.add_route(route, 2)
+        lh.add_route(route_xy((3, 0), (0, 0)), 2)  # reverse folds in
+        assert len(lh.links) == 3
+        assert all(w == 4 for w in lh.links.values())
+        grid = lh.to_grid()
+        assert grid.cells[0][0] == 4  # endpoint of one link
+        assert grid.cells[0][1] == 8  # interior node touches two links
+        top = lh.top_links(2)
+        assert len(top) == 2 and top[0]['words'] == 4
+        # bank rows (y = -1 / height) stay off the tile grid
+        lh2 = LinkHeatmap(2, 2)
+        lh2.add_route(route_xy((0, 0), (0, -1)), 7)
+        assert lh2.to_grid().cells[0][0] == 7
+        assert lh2.to_grid().total() == 7
+
+
+class TestSlo:
+    def test_max_and_min_rules(self):
+        policy = SloPolicy({'latency_p99': {'warn': 10, 'fail': 20},
+                            'tile_utilization': {'warn': 0.5,
+                                                 'kind': 'min'}})
+        out = policy.evaluate({'latency_p99': 5, 'tile_utilization': 0.9})
+        assert out['status'] == 'pass'
+        out = policy.evaluate({'latency_p99': 15, 'tile_utilization': 0.9})
+        assert out['status'] == 'warn'
+        out = policy.evaluate({'latency_p99': 25, 'tile_utilization': 0.1})
+        assert out['status'] == 'fail'
+        assert {r['metric']: r['status'] for r in out['rules']} == {
+            'latency_p99': 'fail', 'tile_utilization': 'warn'}
+        text = render_slo(out)
+        assert 'FAIL' in text and 'tile_utilization' in text
+
+    def test_unknown_metric_and_empty_rule_rejected(self):
+        with pytest.raises(ValueError):
+            SloPolicy({'bogus': {'fail': 1}})
+        with pytest.raises(ValueError):
+            SloPolicy({'latency_p99': {}})
+        with pytest.raises(ValueError):
+            SloPolicy({'latency_p99': {'fail': 1, 'kind': 'median'}})
+
+    def test_load_from_file(self, tmp_path):
+        import json
+        p = tmp_path / 'slo.json'
+        p.write_text(json.dumps({'rejected': {'fail': 0}}))
+        policy = SloPolicy.load(str(p))
+        assert policy.evaluate({'rejected': 0})['status'] == 'pass'
+        assert policy.evaluate({'rejected': 1})['status'] == 'fail'

@@ -1,4 +1,8 @@
-"""Wall-clock overhead budget for telemetry (the <5% acceptance bar).
+"""Wall-clock overhead budget for telemetry + observe (<5% bar).
+
+The instrumented arm attaches both the Telemetry subsystem and an
+ObservePlane with its MetricsRegistry, so the budget covers the full
+always-on observability stack.
 
 The workload is the quickstart kernel (examples/quickstart.py) scaled
 up: the scalar core loops, issuing one group-wide vload and one
@@ -92,10 +96,13 @@ def build_workload():
     return fabric
 
 
-def run_once(telemetry=None):
+def run_once(telemetry=None, observe=False):
     fabric = build_workload()
     if telemetry is not None:
         telemetry.attach(fabric)
+    if observe:
+        from repro.observe import ObservePlane
+        ObservePlane(snapshot_interval=1000).attach(fabric)
     # collect, then keep the collector off inside the timed region
     # (pyperf-style): whether a ~700-object gen-0 threshold happens to
     # trip during a ~30ms run is aliasing noise larger than the budget
@@ -115,7 +122,7 @@ def measure_overhead():
     """Paired-trial overhead protocol; returns a result dict (JSON-safe)."""
     # warm up interpreter/caches so neither arm pays first-run costs
     run_once()
-    run_once(Telemetry(sample_interval=1000))
+    run_once(Telemetry(sample_interval=1000), observe=True)
     rng = random.Random(0x51ab)
     pairs = []  # (base_seconds, telemetry_seconds) per back-to-back pair
     cycles_equal = True
@@ -124,10 +131,12 @@ def measure_overhead():
         while len(pairs) < cap:
             tel_first = rng.random() < 0.5
             if tel_first:
-                tel_dt, tel_cycles = run_once(Telemetry(sample_interval=1000))
+                tel_dt, tel_cycles = run_once(
+                    Telemetry(sample_interval=1000), observe=True)
             base_dt, base_cycles = run_once()
             if not tel_first:
-                tel_dt, tel_cycles = run_once(Telemetry(sample_interval=1000))
+                tel_dt, tel_cycles = run_once(
+                    Telemetry(sample_interval=1000), observe=True)
             pairs.append((base_dt, tel_dt))
             cycles_equal = cycles_equal and tel_cycles == base_cycles
         min_min = (min(t for _, t in pairs) / min(b for b, _ in pairs))
@@ -156,6 +165,22 @@ def test_workload_exercises_every_probe():
     assert counts['microthread'] == ITERS + 1  # one per vissue (expander)
     assert counts['frame'] > 0
     assert counts['wide_access'] == ITERS
+
+
+def test_workload_feeds_the_observe_registry():
+    from repro.observe import ObservePlane
+    fabric = build_workload()
+    plane = ObservePlane(snapshot_interval=1000)
+    plane.attach(fabric)
+    fabric.run()
+    snap = plane.registry.snapshot()
+    wide = snap['mem_requests_total'].get('kind="wide"', 0)
+    assert wide == ITERS
+    assert snap['noc_words_total'] > 0
+    assert snap['frame_words_total'] == ITERS * FRAME_SIZE * LANES
+    assert any(v for v in snap['llc_bank_accesses_total'].values())
+    assert plane.snapshots >= 3
+    assert plane.link_heat.links  # NoC heatmap saw traffic
 
 
 def test_overhead_under_five_percent():
