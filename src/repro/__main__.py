@@ -39,6 +39,18 @@ Commands
 ``compare A.json B.json [--threshold 0.02]``
     Diff two run reports; exits nonzero when B regresses cycles (or any
     stall cause) beyond the threshold.
+``bench run|compare|list``
+    The host-performance lab (docs/perf.md): run the curated benchmark
+    suite into a schema-checked ``BENCH_<label>.json`` (wall time
+    median/IQR, cycles/host-second, peak RSS, provenance), optionally
+    with the self-profiler attached; diff two bench files with a
+    noise-aware regression gate (``--gate`` exits 2 on regression).
+``version``
+    Print the package version plus the code-version salt (and its
+    hash) used for ResultStore keys, so bench/provenance records can
+    be cross-checked from the shell.
+
+Exit codes for all commands are documented in one place: docs/cli.md.
 """
 
 from __future__ import annotations
@@ -67,7 +79,7 @@ def cmd_run(args):
     from .kernels import registry
     bench = registry.make(args.benchmark)
     params = bench.params_for(args.scale)
-    telemetry = tracer = None
+    telemetry = tracer = profiler = None
     if args.report or args.trace:
         from .telemetry import Telemetry
         telemetry = Telemetry(sample_interval=args.sample_interval,
@@ -75,8 +87,11 @@ def cmd_run(args):
     if args.trace:
         from .manycore import Tracer
         tracer = Tracer(limit=args.trace_limit)
+    if args.self_profile or args.flamegraph or args.deep_profile:
+        from .perf import HostProfiler
+        profiler = HostProfiler(deep=args.deep_profile)
     r = run_benchmark(bench, args.config, params, telemetry=telemetry,
-                      tracer=tracer)
+                      tracer=tracer, profiler=profiler)
     print(f'{bench.name} / {r.config}  params={params}')
     print(f'  cycles        {r.cycles}')
     print(f'  instructions  {r.instrs}')
@@ -95,7 +110,76 @@ def cmd_run(args):
         print(f'  trace         {args.trace} '
               f'({len(doc["traceEvents"])} events; load in '
               f'ui.perfetto.dev)')
+    if profiler is not None:
+        print(profiler.render())
+        if args.deep_profile:
+            print(profiler.render_top())
+        if args.flamegraph:
+            profiler.write_collapsed(args.flamegraph)
+            print(f'  flamegraph    {args.flamegraph} (collapsed stacks; '
+                  f'feed to flamegraph.pl or speedscope)')
     return 0
+
+
+def cmd_version(args):
+    from . import __version__
+    from .jobs.spec import CODE_VERSION, code_version_hash, machine_hash
+    from .manycore import DEFAULT_CONFIG
+    print(f'repro {__version__}')
+    print(f'  code-version salt   {CODE_VERSION} '
+          f'(hash {code_version_hash()})')
+    print(f'  default machine     {machine_hash(DEFAULT_CONFIG)}')
+    return 0
+
+
+def _bench_progress(doc, done, total):
+    w = doc['wall_seconds']
+    print(f'  [{done}/{total}] {doc["name"]:<16s} '
+          f'{w["median"]:.3f}s median over {doc["repeats"]} repeat(s)',
+          flush=True)
+
+
+def cmd_bench(args):
+    from .perf import bench as B
+    if args.bench_command == 'list':
+        for case in B.BENCH_SUITE:
+            fast = ' [fast]' if case.fast else ''
+            print(f'  {case.name:<16s} {case.kind:<7s} '
+                  f'{case.workload}{fast}')
+        return 0
+    if args.bench_command == 'run':
+        names = args.cases.split(',') if args.cases else None
+        try:
+            doc = B.run_suite(fast=args.fast, repeats=args.repeats,
+                              names=names, label=args.label,
+                              profile=args.profile or args.deep_profile,
+                              deep=args.deep_profile,
+                              progress=_bench_progress)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(B.render_bench_report(doc))
+        out = args.out or B.bench_path(args.label)
+        B.save_bench_report(doc, out)
+        print(f'bench report: {out} (schema-valid)')
+        return 0
+    if args.bench_command == 'compare':
+        from .perf import compare_bench
+        try:
+            a = B.load_bench_report(args.a)
+            b = B.load_bench_report(args.b)
+        except (OSError, ValueError, B.BenchValidationError) as exc:
+            print(f'invalid bench report: {exc}', file=sys.stderr)
+            return 1
+        text, regressed = compare_bench(
+            a, b, threshold=args.threshold, noise_mult=args.noise_mult,
+            rss_threshold=args.rss_threshold)
+        print(text)
+        if regressed and args.gate:
+            print('bench gate: REGRESSION', file=sys.stderr)
+            return 2
+        return 0
+    raise AssertionError(args.bench_command)
 
 
 def cmd_serve(args):
@@ -337,6 +421,15 @@ def main(argv=None) -> int:
                    help='record per-core stall deltas in every sample')
     p.add_argument('--trace-limit', type=int, default=200_000,
                    help='max traced instructions (default 200000)')
+    p.add_argument('--self-profile', action='store_true',
+                   help='attribute host wall time to simulator '
+                        'components (see docs/perf.md)')
+    p.add_argument('--deep-profile', action='store_true',
+                   help='also wrap the run in cProfile and print the '
+                        'top hot functions (slower)')
+    p.add_argument('--flamegraph', metavar='OUT.folded',
+                   help='write collapsed-stack flamegraph input '
+                        '(implies --self-profile)')
 
     p = sub.add_parser('figure', help='regenerate one paper figure')
     p.add_argument('name', choices=sorted(FIGURE_NAMES))
@@ -446,6 +539,49 @@ def main(argv=None) -> int:
     p.add_argument('--no-verify', action='store_true',
                    help='skip numpy output verification')
 
+    p = sub.add_parser('bench', help='host-performance lab: run the '
+                                     'curated suite / gate two runs')
+    bsub = p.add_subparsers(dest='bench_command', required=True)
+    pb = bsub.add_parser('run', help='run the suite; write '
+                                     'BENCH_<label>.json')
+    pb.add_argument('--fast', action='store_true',
+                    help='smoke subset, single repeat (CI mode)')
+    pb.add_argument('--repeats', type=int, default=None, metavar='N',
+                    help='timing repeats per case (default 3, '
+                         '--fast default 1)')
+    pb.add_argument('--cases', metavar='A,B,...',
+                    help='restrict to named cases (see `bench list`)')
+    pb.add_argument('--label', default='local',
+                    help='label embedded in the artifact and its '
+                         'default filename (default local)')
+    pb.add_argument('--out', metavar='OUT.json',
+                    help='artifact path (default BENCH_<label>.json)')
+    pb.add_argument('--profile', action='store_true',
+                    help='run one extra profiled repeat per case and '
+                         'embed the host-time attribution')
+    pb.add_argument('--deep-profile', action='store_true',
+                    help='profiled repeat also records cProfile top '
+                         'functions (implies --profile)')
+    pb = bsub.add_parser('compare', help='diff two bench artifacts; '
+                                         '--gate exits 2 on regression')
+    pb.add_argument('a')
+    pb.add_argument('b')
+    pb.add_argument('--gate', action='store_true',
+                    help='exit 2 when B regresses beyond the noise-aware '
+                         'thresholds')
+    pb.add_argument('--threshold', type=float, default=0.25,
+                    help='relative wall-time regression threshold '
+                         '(default 0.25)')
+    pb.add_argument('--noise-mult', type=float, default=3.0,
+                    help='IQR multiple treated as noise (default 3.0)')
+    pb.add_argument('--rss-threshold', type=float, default=0.50,
+                    help='relative peak-RSS regression threshold '
+                         '(default 0.50)')
+    bsub.add_parser('list', help='show the curated suite cases')
+
+    sub.add_parser('version', help='print package version + provenance '
+                                   'salts')
+
     p = sub.add_parser('report', help='validate + summarize a run report')
     p.add_argument('file')
 
@@ -460,7 +596,8 @@ def main(argv=None) -> int:
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
             'serve': cmd_serve, 'top': cmd_top, 'report': cmd_report,
-            'compare': cmd_compare}[args.command](args)
+            'compare': cmd_compare, 'bench': cmd_bench,
+            'version': cmd_version}[args.command](args)
 
 
 if __name__ == '__main__':

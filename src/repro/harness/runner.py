@@ -49,19 +49,33 @@ class RunResult:
         return doc
 
 
+class _NullScope:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
 def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
                   base_machine: Optional[MachineConfig] = None,
                   verify: bool = True,
                   active_cores: Optional[Sequence[int]] = None,
                   max_cycles: int = 200_000_000,
-                  telemetry=None, tracer=None) -> RunResult:
+                  telemetry=None, tracer=None, profiler=None) -> RunResult:
     """Simulate one (benchmark, configuration) pair and verify the output.
 
     ``config`` may be a name, a :class:`Config`, or a :class:`MetaConfig`
     (in which case members run and the fastest result is returned, renamed).
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) and ``tracer`` (a
     :class:`repro.manycore.Tracer`) attach to the fabric before the run;
-    neither changes simulated timing.
+    neither changes simulated timing.  ``profiler`` (a
+    :class:`repro.perf.HostProfiler`) additionally attributes *host* wall
+    time to components (setup/codegen/run-loop/verify/energy) — it swaps
+    in the instrumented run loop but never changes simulation results.
     """
     if isinstance(config, str):
         config = get(config)
@@ -101,23 +115,33 @@ def run_benchmark(bench: Benchmark, config, params: Dict[str, int],
         telemetry.attach(fabric)
     if tracer is not None:
         tracer.attach(fabric)
-    ws = bench.setup(fabric, params)
+    if profiler is not None:
+        profiler.attach(fabric)
+    scope = profiler.scope if profiler is not None \
+        else (lambda name: _NULL_SCOPE)
+    with scope('setup'):
+        ws = bench.setup(fabric, params)
     if config.kind == 'mimd':
-        prog = bench.build_mimd(fabric, ws, params,
-                                prefetch=config.prefetch, pcv=config.pcv)
-        fabric.load_program(prog, active_cores=active_cores)
+        with scope('codegen'):
+            prog = bench.build_mimd(fabric, ws, params,
+                                    prefetch=config.prefetch,
+                                    pcv=config.pcv)
+            fabric.load_program(prog, active_cores=active_cores)
         stats = fabric.run(max_cycles=max_cycles)
     elif config.kind == 'vector':
-        vp = VectorParams(lanes=config.lanes, pcv=config.pcv)
-        prog = bench.build_vector(fabric, ws, params, vp)
-        fabric.load_program(prog, active_cores=active_cores)
+        with scope('codegen'):
+            vp = VectorParams(lanes=config.lanes, pcv=config.pcv)
+            prog = bench.build_vector(fabric, ws, params, vp)
+            fabric.load_program(prog, active_cores=active_cores)
         stats = fabric.run(max_cycles=max_cycles)
     else:
         raise ValueError(f'unknown config kind {config.kind!r}')
     if verify:
-        bench.verify(fabric, ws, params)
+        with scope('verify'):
+            bench.verify(fabric, ws, params)
     from ..energy import compute_energy
-    energy = compute_energy(stats, machine)
+    with scope('energy'):
+        energy = compute_energy(stats, machine)
     return RunResult(bench.name, config.name, stats.cycles, stats, energy,
                      params=dict(params), machine=machine,
                      telemetry=telemetry)

@@ -27,14 +27,15 @@ from .report import SWEEP_REPORT_KIND, SWEEP_SCHEMA_VERSION, \
     build_sweep_report
 from .serialize import RESULT_SCHEMA_VERSION, result_from_dict, \
     result_to_dict
-from .spec import CODE_VERSION, JobSpec, machine_hash
+from .spec import CODE_VERSION, JobSpec, code_version_hash, machine_hash
 from .store import ResultStore
 
 __all__ = [
     'JobSpec', 'JobOutcome', 'SweepEngine', 'SweepManifest', 'ResultStore',
     'PlanningCache', 'plan_figures', 'run_job', 'any_failed',
     'render_summary', 'build_sweep_report', 'result_to_dict',
-    'result_from_dict', 'machine_hash', 'CODE_VERSION',
+    'result_from_dict', 'machine_hash', 'code_version_hash',
+    'CODE_VERSION',
     'RESULT_SCHEMA_VERSION', 'MANIFEST_SCHEMA_VERSION',
     'SWEEP_REPORT_KIND', 'SWEEP_SCHEMA_VERSION',
     'DONE', 'CACHED', 'FAILED', 'TIMEOUT', 'CRASHED',

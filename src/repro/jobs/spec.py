@@ -43,6 +43,17 @@ def _canon(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(',', ':'))
 
 
+def code_version_hash() -> str:
+    """Stable short hash of the :data:`CODE_VERSION` salt.
+
+    This is the exact serialization of the salt as it enters every
+    :meth:`JobSpec.key`, so a bench/provenance record carrying it can be
+    cross-checked against ``repro version`` from the shell: if the
+    hashes differ, the two sides would address disjoint store keys.
+    """
+    return hashlib.sha256(_canon(CODE_VERSION).encode()).hexdigest()[:16]
+
+
 def machine_hash(machine) -> str:
     """Stable short hash of a MachineConfig's fields.
 

@@ -121,6 +121,7 @@ class Fabric:
         self.trace = None  # optional Tracer (see manycore.trace)
         self.telemetry = None  # optional Telemetry (see repro.telemetry)
         self.observe = None  # optional ObservePlane (see repro.observe)
+        self.profiler = None  # optional HostProfiler (see repro.perf)
 
     # ------------------------------------------------------------- memory setup
     def alloc(self, data_or_size, fill=0.0) -> int:
@@ -445,6 +446,8 @@ class Fabric:
 
     def run(self, max_cycles: int = _MAX_DEFAULT) -> RunStats:
         """Classic flow: run the loaded program to completion."""
+        if self.profiler is not None:
+            return self.profiler.run(self, max_cycles, serve=False)
         self._run_loop(max_cycles, serve=False)
         return self._finish_run()
 
@@ -455,6 +458,8 @@ class Fabric:
         keep the loop alive; a wedged job is routed to ``_stall_handler``
         instead of aborting the fabric.
         """
+        if self.profiler is not None:
+            return self.profiler.run(self, max_cycles, serve=True)
         self._run_loop(max_cycles, serve=True)
         return self._finish_run()
 

@@ -249,12 +249,20 @@ class ObservePlane:
 
     # ---------------------------------------------------------------- snapshot
     def take(self, now: int) -> None:
-        """Drain + refresh gauges/heatmaps; called on clock boundaries."""
+        """Drain + refresh gauges/heatmaps; called on clock boundaries.
+
+        Snapshot cycle stamps are strictly increasing: when the final
+        ``finalize`` call lands on a cycle that a periodic snapshot
+        already stamped, state is refreshed but no duplicate JSONL line
+        is emitted (the ``final`` record carries the end-of-run metrics
+        instead) — guarded by test_observe_snapshots.
+        """
         fabric = self._fabric
         if fabric is None:
             return
         if self.interval:
             self.next_due = now - now % self.interval + self.interval
+        duplicate = self.snapshots and now == self._last_cycle
         self.drain()
         for b in fabric.banks:
             lines = b.resident_lines()
@@ -277,6 +285,8 @@ class ObservePlane:
         self._g_tiles.set(active)
         self._g_cycle.set(now)
         self._last_cycle = now
+        if duplicate:
+            return
         self.snapshots += 1
         if self._sink is not None:
             self._sink.write(json.dumps(
@@ -285,13 +295,19 @@ class ObservePlane:
             self.on_snapshot(self, now)
 
     def finalize(self, now: int) -> None:
-        """Closing snapshot + heatmap summary; flushes the JSONL sink."""
+        """Closing snapshot + heatmap summary; flushes the JSONL sink.
+
+        The trailing ``final`` record carries the end-of-run metrics
+        snapshot (identical to the in-memory registry state after the
+        run) alongside the heatmap summary.
+        """
         if self._fabric is None:
             return
         self.take(now)
         if self._sink is not None:
             self._sink.write(json.dumps(
                 {'cycle': now, 'final': True,
+                 'metrics': self.registry.snapshot(),
                  'heatmaps': self.heatmaps_dict()}) + '\n')
             self._sink.close()
             self._sink = None

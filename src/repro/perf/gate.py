@@ -1,0 +1,116 @@
+"""Noise-aware regression gating between two bench reports.
+
+``repro bench compare A B --gate`` is the mechanical answer to "did the
+simulator get slower": it diffs two ``BENCH_*.json`` artifacts case by
+case and exits nonzero when B regresses beyond what measurement noise
+can explain.
+
+The wall-time test is deliberately two-sided against noise: case B is a
+regression only when the median slowdown exceeds **both**
+
+* ``threshold`` (relative, default 25% — host timing on shared runners
+  is far noisier than simulated cycles, so this is looser than the
+  2% cycle gate in ``repro compare``), and
+* ``noise_mult`` x the larger of the two runs' IQRs (an absolute
+  noise floor derived from the repeats themselves).
+
+Simulated cycles are deterministic, so any drift there is reported as a
+**workload change** warning rather than a host regression — it means
+the two files measured different simulators (the provenance block says
+whether that was intentional) and their wall times are not comparable
+for that case.  Peak RSS gates with its own (looser) threshold since
+allocator behavior differs across Python builds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_NOISE_MULT = 3.0
+DEFAULT_RSS_THRESHOLD = 0.50
+
+#: floor under the IQR noise band, so single-repeat (--fast) files
+#: still gate sanely on very short cases
+MIN_NOISE_SECONDS = 0.005
+
+
+def _provenance_mismatch(a: dict, b: dict) -> List[str]:
+    warnings = []
+    pa, pb = a['provenance'], b['provenance']
+    if pa['code_version_hash'] != pb['code_version_hash']:
+        warnings.append(
+            f'  WARNING: code-version salt differs '
+            f'({pa["code_version_hash"][:8]} -> '
+            f'{pb["code_version_hash"][:8]}): simulated figures are '
+            f'expected to move')
+    if a['host']['platform'] != b['host']['platform']:
+        warnings.append(
+            f'  WARNING: different hosts ({a["host"]["platform"]} -> '
+            f'{b["host"]["platform"]}): wall times are only roughly '
+            f'comparable')
+    return warnings
+
+
+def compare_bench(a: dict, b: dict,
+                  threshold: float = DEFAULT_THRESHOLD,
+                  noise_mult: float = DEFAULT_NOISE_MULT,
+                  rss_threshold: float = DEFAULT_RSS_THRESHOLD
+                  ) -> Tuple[str, bool]:
+    """Diff two bench reports; returns ``(text, regressed)``."""
+    lines = [f"bench compare {a['label']} "
+             f"(git {a['generated']['git_sha'][:9]}) -> {b['label']} "
+             f"(git {b['generated']['git_sha'][:9]})  "
+             f"[threshold {threshold:.0%}, noise x{noise_mult:g}]"]
+    lines += _provenance_mismatch(a, b)
+    regressed = False
+
+    cases_a = {c['name']: c for c in a['cases']}
+    cases_b = {c['name']: c for c in b['cases']}
+    for name in sorted(set(cases_a) - set(cases_b)):
+        lines.append(f'  WARNING: case {name} only in {a["label"]}')
+    for name in sorted(set(cases_b) - set(cases_a)):
+        lines.append(f'  WARNING: case {name} only in {b["label"]}')
+
+    for name in [c['name'] for c in a['cases'] if c['name'] in cases_b]:
+        ca, cb = cases_a[name], cases_b[name]
+        wa, wb = ca['wall_seconds'], cb['wall_seconds']
+        ma, mb = wa['median'], wb['median']
+        delta = mb - ma
+        rel = delta / ma if ma else 0.0
+        noise = max(noise_mult * max(wa['iqr'], wb['iqr']),
+                    MIN_NOISE_SECONDS)
+        flag = ''
+        if delta > max(threshold * ma, noise):
+            regressed = True
+            flag = f'  << REGRESSION (> {threshold:.0%} and outside ' \
+                   f'the {noise:.3f}s noise band)'
+        elif -delta > max(threshold * ma, noise):
+            flag = '  (improvement)'
+        lines.append(f'  {name:<16s} wall {ma:>8.3f}s -> {mb:>8.3f}s '
+                     f'({rel:+.1%}){flag}')
+
+        sa, sb = ca['sim'], cb['sim']
+        if sa['cycles'] != sb['cycles'] or sa['instrs'] != sb['instrs']:
+            lines.append(
+                f'    WARNING: workload changed '
+                f'(cycles {sa["cycles"]} -> {sb["cycles"]}, instrs '
+                f'{sa["instrs"]} -> {sb["instrs"]}); wall times not '
+                f'comparable for this case')
+        else:
+            ra = sa['cycles_per_host_second']
+            rb = sb['cycles_per_host_second']
+            rrel = (rb - ra) / ra if ra else 0.0
+            lines.append(f'    sim rate {ra:>12.0f} -> {rb:>12.0f} '
+                         f'cycles/s ({rrel:+.1%})')
+
+        rss_a, rss_b = ca['peak_rss_kb'], cb['peak_rss_kb']
+        if rss_a and rss_b:
+            rrel = (rss_b - rss_a) / rss_a
+            flag = ''
+            if rrel > rss_threshold:
+                regressed = True
+                flag = f'  << REGRESSION (> {rss_threshold:.0%})'
+            lines.append(f'    peak RSS {rss_a / 1024:>8.1f} -> '
+                         f'{rss_b / 1024:>8.1f} MiB ({rrel:+.1%}){flag}')
+    return '\n'.join(lines), regressed

@@ -1,0 +1,366 @@
+"""Host-side self-profiler: where does the *simulator's* wall time go?
+
+The simulated fabric became observable in PR 1/PR 4; this module makes
+the simulator itself observable.  A :class:`HostProfiler` attaches to a
+:class:`~repro.manycore.Fabric` and attributes host wall time to named
+components of the event loop:
+
+``tile_step``
+    stepping runnable tiles (instruction issue, the main cost),
+``llc`` / ``dram``
+    memory-system event callbacks (bank serves, line fills, op drains),
+``frames``
+    wide-access/DAE frame chunk deliveries into scratchpads,
+``inet``
+    core-to-core remote-store deliveries,
+``barrier``
+    global-barrier memory-fence rechecks,
+``serve``
+    serving-scheduler callbacks (arrivals, timeouts),
+``sched``
+    the clock advance itself (next-wake scan, event-heap peek),
+``telemetry`` / ``observe``
+    sampler and observability-plane snapshot overhead,
+``drain`` / ``finish``
+    end-of-run event flush and stats/telemetry finalization.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  The fabric holds
+   ``fabric.profiler = None``; the only cost on the normal path is one
+   ``is None`` check at ``run()`` entry.  The unprofiled event loop is
+   byte-for-byte the code that ran before this module existed, so
+   disabled-mode simulation results are bit-identical (guarded by
+   test).
+2. **Attribution, not sampling.**  The profiled loop brackets every
+   segment with ``perf_counter()`` and *shares boundaries* between
+   consecutive segments, so the sum of components covers the loop
+   almost exactly; the residual (timer overhead + loop bookkeeping) is
+   computed, reported, and asserted small (< 10%) by test.
+3. **Identical simulation.**  The profiled loop is a timing-annotated
+   copy of ``Fabric._run_loop``; a tier-1 test runs both and asserts
+   bit-identical cycle counts and outputs, so the copies cannot drift
+   silently.
+
+``deep=True`` additionally wraps the run in :mod:`cProfile` for a
+per-function "top N" table (at real profiler cost — use it to dig, not
+to gate).  :meth:`HostProfiler.write_collapsed` emits the component
+tree as collapsed stacks (``repro;run;llc 12345`` microsecond lines)
+loadable by any flamegraph tool (flamegraph.pl, speedscope, inferno).
+"""
+
+from __future__ import annotations
+
+import io
+from time import perf_counter
+from typing import Dict, Optional
+
+#: components attributed inside the run loop, in render order
+LOOP_COMPONENTS = ('tile_step', 'llc', 'dram', 'frames', 'inet', 'barrier',
+                   'serve', 'sched', 'telemetry', 'observe', 'events',
+                   'drain', 'finish')
+
+_INF = 1 << 60
+
+
+class ProfileScope:
+    """Context manager crediting its elapsed wall time to one component."""
+
+    __slots__ = ('profiler', 'name', '_t0')
+
+    def __init__(self, profiler: 'HostProfiler', name: str):
+        self.profiler = profiler
+        self.name = name
+
+    def __enter__(self):
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.profiler.add(self.name, perf_counter() - self._t0)
+        return False
+
+
+class HostProfiler:
+    """Attributes the simulator's host wall time to named components.
+
+    Usage::
+
+        prof = HostProfiler()
+        prof.attach(fabric)          # fabric.run() now uses the profiled loop
+        fabric.load_program(prog)
+        fabric.run()
+        print(prof.render())         # per-component table + residual
+        prof.write_collapsed('run.folded')   # flamegraph input
+    """
+
+    def __init__(self, deep: bool = False):
+        self.seconds: Dict[str, float] = {}
+        self.total = 0.0  # wall seconds measured around run()+finish
+        self.deep = deep
+        self._cprofile = None
+        self._fn_cache: Dict[object, str] = {}  # code object -> component
+
+    # ------------------------------------------------------------- lifecycle
+    def attach(self, fabric) -> 'HostProfiler':
+        fabric.profiler = self
+        return self
+
+    def detach(self, fabric) -> None:
+        if fabric.profiler is self:
+            fabric.profiler = None
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def scope(self, name: str) -> ProfileScope:
+        """Scoped timer for phases outside the run loop (setup, verify)."""
+        return ProfileScope(self, name)
+
+    # ----------------------------------------------------------- derived data
+    def attributed(self) -> float:
+        """Seconds credited to run-loop components (excludes harness
+        scopes like ``setup``/``verify``, which lie outside ``total``)."""
+        return sum(self.seconds.get(c, 0.0) for c in LOOP_COMPONENTS)
+
+    def residual(self) -> float:
+        """Measured-but-unattributed wall time (timer + loop overhead)."""
+        return max(0.0, self.total - self.attributed())
+
+    def coverage(self) -> float:
+        """Fraction of measured run time attributed to named components."""
+        if self.total <= 0.0:
+            return 1.0
+        return min(1.0, self.attributed() / self.total)
+
+    # -------------------------------------------------------------- profiled run
+    def run(self, fabric, max_cycles: int, serve: bool):
+        """Profiled replacement for ``Fabric.run``/``run_serve``."""
+        if self.deep and self._cprofile is None:
+            import cProfile
+            self._cprofile = cProfile.Profile()
+        t_start = perf_counter()
+        if self._cprofile is not None:
+            self._cprofile.enable()
+        try:
+            self._loop(fabric, max_cycles, serve)
+            t0 = perf_counter()
+            fabric._drain()
+            t1 = perf_counter()
+            self.add('drain', t1 - t0)
+            fabric.run_stats.cycles = fabric.cycle
+            for t in fabric.tiles:
+                t.stats.cycles = fabric.cycle + 1
+            if fabric.telemetry is not None:
+                fabric.telemetry.finalize(fabric.cycle)
+            if fabric.observe is not None:
+                fabric.observe.finalize(fabric.cycle)
+            self.add('finish', perf_counter() - t1)
+        finally:
+            if self._cprofile is not None:
+                self._cprofile.disable()
+            self.total += perf_counter() - t_start
+        return fabric.run_stats
+
+    def _loop(self, fabric, max_cycles: int, serve: bool) -> None:
+        """Timing-annotated copy of ``Fabric._run_loop``.
+
+        Kept line-for-line parallel with the original (same wake/event
+        ordering, same sampler/observe scheduling); consecutive segments
+        share ``perf_counter()`` boundaries so coverage stays near 100%.
+        """
+        acc = self.seconds
+        classify = self._classify
+        pc = perf_counter
+        import heapq
+        heappop = heapq.heappop
+
+        tel = fabric.telemetry
+        sampler = None
+        next_sample = _INF
+        if tel is not None:
+            tel.attach(fabric)
+            sampler = tel.sampler
+            if sampler is not None:
+                next_sample = sampler.next_due
+        obs = fabric.observe
+        next_obs = _INF
+        if obs is not None:
+            obs.bind(fabric)
+            if obs.interval:
+                next_obs = obs.next_due
+        heap = fabric._heap
+        active = [t for t in fabric._active if not t.halted]
+        fabric._active_dirty = False
+        while True:
+            t0 = pc()
+            if fabric._active_dirty:
+                active = [t for t in fabric._active if not t.halted]
+                fabric._active_dirty = False
+            if not active and not (serve and fabric._pending_events):
+                acc['sched'] = acc.get('sched', 0.0) + pc() - t0
+                break
+            now = min(t.next_wake for t in active) if active else _INF
+            head = fabric._peek_live()
+            if head is not None and head < now:
+                now = head
+            if now >= _INF:
+                if head is not None:
+                    now = head
+                elif (serve and fabric._stall_handler is not None
+                        and fabric._stall_handler(fabric.cycle)):
+                    acc['serve'] = acc.get('serve', 0.0) + pc() - t0
+                    continue  # the handler freed a wedged job
+                else:
+                    fabric._deadlock()
+            if now > max_cycles:
+                acc['sched'] = acc.get('sched', 0.0) + pc() - t0
+                from ..manycore.fabric import SimulationTimeout
+                raise SimulationTimeout(
+                    f'exceeded {max_cycles} cycles at cycle {fabric.cycle}')
+            fabric.cycle = now
+            t1 = pc()
+            acc['sched'] = acc.get('sched', 0.0) + t1 - t0
+            if now >= next_sample:
+                sampler.take(now)
+                next_sample = sampler.next_due
+                t = pc()
+                acc['telemetry'] = acc.get('telemetry', 0.0) + t - t1
+                t1 = t
+            if now >= next_obs:
+                obs.take(now)
+                next_obs = obs.next_due
+                t = pc()
+                acc['observe'] = acc.get('observe', 0.0) + t - t1
+                t1 = t
+            pending = fabric._pending_events
+            while heap and heap[0][0] <= now:
+                _, seq, fn = heappop(heap)
+                if seq in pending:
+                    pending.discard(seq)
+                    fn(now)
+                    t = pc()
+                    comp = classify(fn)
+                    acc[comp] = acc.get(comp, 0.0) + t - t1
+                    t1 = t
+            for t in active:
+                if t.next_wake <= now and not t.halted:
+                    nw = t.step(now)
+                    t.next_wake = nw if nw > now else now + 1
+            acc['tile_step'] = acc.get('tile_step', 0.0) + pc() - t1
+
+    # ---------------------------------------------------------- classification
+    def _classify(self, fn) -> str:
+        """Map an event callback to a component, cached per code object.
+
+        Frame/wide chunk deliveries and remote stores both end in
+        ``spad_deliver``; the defining module tells them apart (LLC bank
+        responses vs the fabric's remote-store path).
+        """
+        f = getattr(fn, '__func__', fn)
+        code = getattr(f, '__code__', None)
+        if code is None:
+            return 'events'
+        comp = self._fn_cache.get(code)
+        if comp is None:
+            mod = getattr(f, '__module__', '') or ''
+            names = code.co_names
+            if mod.endswith('manycore.llc'):
+                comp = 'frames' if 'spad_deliver' in names else 'llc'
+            elif mod.endswith('manycore.dram'):
+                comp = 'dram'
+            elif mod.endswith('manycore.fabric'):
+                comp = 'inet' if 'spad_deliver' in names else 'barrier'
+            elif '.serve' in mod:
+                comp = 'serve'
+            else:
+                comp = 'events'
+            self._fn_cache[code] = comp
+        return comp
+
+    # ----------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        """JSON-safe profile section (seconds, coverage, optional top-N)."""
+        doc = {
+            'total_seconds': self.total,
+            'components': {k: v for k, v in sorted(
+                self.seconds.items(), key=lambda kv: -kv[1])},
+            'residual_seconds': self.residual(),
+            'coverage': self.coverage(),
+        }
+        if self._cprofile is not None:
+            doc['top_functions'] = self.top_functions()
+        return doc
+
+    def render(self, width: int = 40) -> str:
+        """Human-readable per-component table with an explicit residual."""
+        lines = [f'host-time attribution ({self.total:.3f}s measured, '
+                 f'{self.coverage():.1%} attributed):']
+        total = self.total or 1.0
+        items = sorted(((k, v) for k, v in self.seconds.items()
+                        if k in LOOP_COMPONENTS), key=lambda kv: -kv[1])
+        for name, secs in items:
+            share = secs / total
+            bar = '#' * max(1, int(share * width)) if secs else ''
+            lines.append(f'  {name:<10s} {secs:>8.3f}s {share:>6.1%}  {bar}')
+        lines.append(f'  {"(residual)":<10s} {self.residual():>8.3f}s '
+                     f'{self.residual() / total:>6.1%}')
+        extra = [(k, v) for k, v in sorted(self.seconds.items())
+                 if k not in LOOP_COMPONENTS]
+        if extra:
+            lines.append('outside the run loop:')
+            for name, secs in extra:
+                lines.append(f'  {name:<10s} {secs:>8.3f}s')
+        return '\n'.join(lines)
+
+    def collapsed_stacks(self) -> str:
+        """Flamegraph-ready collapsed stacks, one ``frames value`` line
+        per component (values in integer microseconds)."""
+        lines = []
+        for name, secs in sorted(self.seconds.items()):
+            us = int(round(secs * 1e6))
+            if not us:
+                continue
+            stack = f'repro;run;{name}' if name in LOOP_COMPONENTS \
+                else f'repro;{name}'
+            lines.append(f'{stack} {us}')
+        us = int(round(self.residual() * 1e6))
+        if us:
+            lines.append(f'repro;run;(residual) {us}')
+        return '\n'.join(lines) + '\n'
+
+    def write_collapsed(self, path: str) -> None:
+        with open(path, 'w') as f:
+            f.write(self.collapsed_stacks())
+
+    def top_functions(self, n: int = 15):
+        """Top-N hot functions from deep (cProfile) mode, by cumulative
+        time; empty when deep mode is off or the run has not happened."""
+        if self._cprofile is None:
+            return []
+        import pstats
+        st = pstats.Stats(self._cprofile, stream=io.StringIO())
+        st.sort_stats('cumulative')
+        rows = []
+        for (filename, lineno, name), (cc, nc, tt, ct, _callers) in sorted(
+                st.stats.items(), key=lambda kv: -kv[1][3])[:n]:
+            rows.append({'function': f'{filename}:{lineno}({name})',
+                         'calls': nc, 'tottime': round(tt, 6),
+                         'cumtime': round(ct, 6)})
+        return rows
+
+    def render_top(self, n: int = 15) -> str:
+        rows = self.top_functions(n)
+        if not rows:
+            return 'deep profile: not enabled'
+        lines = [f'top {len(rows)} hot functions (cProfile, by cumulative '
+                 f'time):',
+                 f'  {"calls":>10s} {"tottime":>9s} {"cumtime":>9s}  '
+                 f'function']
+        for r in rows:
+            fn = r['function']
+            if len(fn) > 64:
+                fn = '...' + fn[-61:]
+            lines.append(f'  {r["calls"]:>10d} {r["tottime"]:>9.4f} '
+                         f'{r["cumtime"]:>9.4f}  {fn}')
+        return '\n'.join(lines)
