@@ -33,6 +33,17 @@ Commands
     Serve a trace with the live terminal dashboard attached: fleet
     summary, in-flight request table, and congestion heatmaps refreshed
     every ``--refresh`` simulated cycles.
+``fleet [TRACE.json] [--shards N --autoscale POLICY --slo POLICY]``
+    Run a sharded fabric fleet under open-loop traffic: N shards in
+    parallel worker processes behind a join-shortest-queue router with
+    request affinity, admission control, SLO-driven autoscaling with
+    graceful drain, and crash re-routing (``--crash SHARD@EPOCH``
+    injects a real worker kill).  ``--report`` writes the cross-shard
+    fleet report (schema- and conservation-checked), ``--metrics-out``
+    per-epoch JSONL snapshots; ``--slo`` evaluates a threshold policy
+    against the fleet summary.  Exit codes follow ``serve``: 1 on
+    failed/timed-out requests, 2 on SLO fail or invalid policy (see
+    docs/fleet.md).
 ``report FILE.json``
     Validate a run report against the schema and print its summary
     (CPI stack, histograms, sample count).
@@ -154,6 +165,8 @@ def cmd_bench(args):
                               names=names, label=args.label,
                               profile=args.profile or args.deep_profile,
                               deep=args.deep_profile,
+                              isolate=args.isolate,
+                              isolate_timeout=args.isolate_timeout,
                               progress=_bench_progress)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
@@ -242,6 +255,87 @@ def cmd_serve(args):
         for r in failed:
             print(f'request {r.req_id} ({r.kernel}) FAILED: {r.error}',
                   file=sys.stderr)
+        return 1
+    if doc.get('slo', {}).get('status') == 'fail':
+        print('SLO: FAIL', file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_fleet(args):
+    import json
+    from .fleet import (AutoscalePolicy, Autoscaler, FleetConfig,
+                        FleetRouter, build_fleet_report,
+                        render_fleet_report)
+    from .serve import load_trace, open_loop_trace
+    autoscaler = None
+    if args.autoscale:
+        try:
+            policy = (AutoscalePolicy() if args.autoscale == 'default'
+                      else AutoscalePolicy.load(args.autoscale))
+        except (OSError, TypeError, ValueError,
+                json.JSONDecodeError) as exc:
+            print(f'{args.autoscale}: invalid autoscale policy: {exc}',
+                  file=sys.stderr)
+            return 2
+        autoscaler = Autoscaler(policy)
+    slo_policy = None
+    if args.slo:
+        from .observe import SloPolicy
+        try:
+            slo_policy = SloPolicy.load(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f'{args.slo}: invalid SLO policy: {exc}',
+                  file=sys.stderr)
+            return 2
+    crashes = []
+    for spec in args.crash or ():
+        try:
+            shard_s, _, epoch_s = spec.partition('@')
+            crashes.append((int(shard_s), int(epoch_s)))
+        except ValueError:
+            print(f'--crash wants SHARD@EPOCH, got {spec!r}',
+                  file=sys.stderr)
+            return 2
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+        seed = pattern = None
+    else:
+        trace = open_loop_trace(
+            seed=args.seed, n_requests=args.requests,
+            pattern=args.pattern, scale=args.scale,
+            mean_interarrival=args.mean_interarrival,
+            timeout=args.timeout)
+        seed, pattern = args.seed, args.pattern
+    cfg = FleetConfig(
+        shards=args.shards, epoch_cycles=args.epoch_cycles,
+        shard_queue_cap=args.shard_queue_cap, max_queue=args.max_queue,
+        affinity=not args.no_affinity, verify=not args.no_verify,
+        workers=args.workers, timeout=args.worker_timeout,
+        crashes=tuple(crashes))
+    router = FleetRouter(cfg, autoscaler=autoscaler)
+    result = router.run(iter(trace))
+    doc = build_fleet_report(result, pattern=pattern, seed=seed,
+                             slo=slo_policy)
+    print(render_fleet_report(doc))
+    if args.metrics_out:
+        with open(args.metrics_out, 'w') as f:
+            for row in result.epoch_log:
+                f.write(json.dumps(row) + '\n')
+        print(f'metrics: {args.metrics_out} '
+              f'({len(result.epoch_log)} epoch snapshots)')
+    if args.report:
+        with open(args.report, 'w') as f:
+            json.dump(doc, f, indent=1)
+        print(f'report: {args.report} (schema-valid, '
+              f'conservation-checked)')
+    s = doc['summary']
+    if s['failed'] or s['timed_out']:
+        for r in doc['requests']:
+            if r['state'] in ('failed', 'timed-out'):
+                print(f'request {r["req_id"]} ({r["kernel"]}) '
+                      f'{r["state"].upper()}: {r.get("error", "")}',
+                      file=sys.stderr)
         return 1
     if doc.get('slo', {}).get('status') == 'fail':
         print('SLO: FAIL', file=sys.stderr)
@@ -520,6 +614,64 @@ def main(argv=None) -> int:
                    help='evaluate an SLO threshold policy; exit 2 on '
                         'fail (see docs/observability.md)')
 
+    p = sub.add_parser('fleet', help='run a sharded fabric fleet under '
+                                     'open-loop traffic')
+    p.add_argument('trace_file', nargs='?', metavar='TRACE.json',
+                   help='request trace to replay (omit to generate '
+                        'seeded open-loop traffic)')
+    p.add_argument('--seed', type=int, default=0, metavar='N',
+                   help='traffic-generator seed (default 0)')
+    p.add_argument('--requests', type=int, default=24, metavar='N',
+                   help='generated traffic length (default 24)')
+    p.add_argument('--pattern', default='mixed',
+                   choices=('steady', 'diurnal', 'bursty', 'mixed'),
+                   help='arrival process (default mixed: diurnal wave '
+                        '+ bursts, heavy-tailed sizes)')
+    p.add_argument('--scale', choices=('test', 'bench'), default='test',
+                   help='problem sizes for generated requests '
+                        '(default test)')
+    p.add_argument('--mean-interarrival', type=int, default=4000,
+                   metavar='CYCLES',
+                   help='mean request interarrival (default 4000)')
+    p.add_argument('--timeout', type=int, default=None, metavar='CYCLES',
+                   help='per-request deadline measured from arrival')
+    p.add_argument('--shards', type=int, default=3, metavar='N',
+                   help='initial fleet size (default 3)')
+    p.add_argument('--epoch-cycles', type=int, default=50_000,
+                   metavar='CYCLES',
+                   help='router hand-off quantum (default 50000)')
+    p.add_argument('--shard-queue-cap', type=int, default=8, metavar='N',
+                   help='per-shard backlog cap before backpressure '
+                        '(default 8)')
+    p.add_argument('--max-queue', type=int, default=256, metavar='N',
+                   help='router queue cap; admission control rejects '
+                        'beyond it (default 256)')
+    p.add_argument('--workers', type=int, default=4, metavar='N',
+                   help='concurrent shard worker processes (default 4)')
+    p.add_argument('--worker-timeout', type=float, default=None,
+                   metavar='SEC',
+                   help='wall-clock budget per shard batch')
+    p.add_argument('--autoscale', metavar='POLICY.json',
+                   help="SLO-driven autoscaling policy file, or "
+                        "'default' for the built-in thresholds")
+    p.add_argument('--slo', metavar='POLICY.json',
+                   help='evaluate an SLO threshold policy against the '
+                        'fleet summary; exit 2 on fail')
+    p.add_argument('--crash', action='append', metavar='SHARD@EPOCH',
+                   help='inject a worker SIGKILL into a shard batch '
+                        '(repeatable); its requests are re-routed')
+    p.add_argument('--no-affinity', action='store_true',
+                   help='disable job-key affinity (pure '
+                        'join-shortest-queue)')
+    p.add_argument('--no-verify', action='store_true',
+                   help='skip numpy output verification in shards')
+    p.add_argument('--metrics-out', metavar='OUT.jsonl',
+                   help='write per-epoch fleet metric snapshots as '
+                        'JSONL')
+    p.add_argument('--report', metavar='OUT.json',
+                   help='write the schema-checked cross-shard fleet '
+                        'report')
+
     p = sub.add_parser('top', help='serve a trace with a live '
                                    'terminal dashboard attached')
     p.add_argument('trace_file', nargs='?', metavar='TRACE.json',
@@ -562,6 +714,14 @@ def main(argv=None) -> int:
     pb.add_argument('--deep-profile', action='store_true',
                     help='profiled repeat also records cProfile top '
                          'functions (implies --profile)')
+    pb.add_argument('--isolate', action='store_true',
+                    help='run each timing repeat in its own worker '
+                         'process (repro.jobs farm, sequential), '
+                         'removing in-process cross-talk between '
+                         'repeats')
+    pb.add_argument('--isolate-timeout', type=float, default=None,
+                    metavar='SECONDS',
+                    help='per-repeat wall-clock budget with --isolate')
     pb = bsub.add_parser('compare', help='diff two bench artifacts; '
                                          '--gate exits 2 on regression')
     pb.add_argument('a')
@@ -595,7 +755,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
-            'serve': cmd_serve, 'top': cmd_top, 'report': cmd_report,
+            'serve': cmd_serve, 'fleet': cmd_fleet, 'top': cmd_top,
+            'report': cmd_report,
             'compare': cmd_compare, 'bench': cmd_bench,
             'version': cmd_version}[args.command](args)
 

@@ -1,0 +1,43 @@
+"""repro.fleet — a sharded fleet of fabrics behind one front door.
+
+One fabric serves one tenant mix well (``repro.serve``); production
+scale means *many* fabrics.  This package runs N fabric **shards** in
+parallel worker processes (the :class:`~repro.jobs.SweepEngine` farm,
+with dicts on the wire) behind:
+
+* a **router** (:class:`FleetRouter`) — admission control,
+  join-shortest-queue routing with job-key affinity, two-level
+  backpressure, and epoch-quantized hand-off so every request's global
+  latency decomposes exactly into router wait + in-shard phases;
+* an **autoscaler** (:class:`Autoscaler`) — grows and shrinks the
+  fleet from p99 latency and tile utilization with hysteresis, and
+  drains shards gracefully on scale-down (in-flight work always
+  finishes);
+* **fault tolerance** — a crashed shard's requests are re-routed and
+  re-executed bit-identically (sha256 output digests, backed by the
+  serving plane's isolated-run equivalence guarantee);
+* a schema-checked cross-shard **fleet report** with enforced request-
+  and breakdown-conservation invariants, driven by realistic open-loop
+  traffic from :func:`repro.serve.open_loop_trace`.
+
+See docs/fleet.md and the ``repro fleet`` CLI.
+"""
+
+from .autoscaler import AutoscalePolicy, Autoscaler
+from .report import (FLEET_REPORT_KIND, FLEET_REPORT_SCHEMA,
+                     FleetInvariantError, build_fleet_report,
+                     check_conservation, load_fleet_report,
+                     render_fleet_report, validate_fleet_report)
+from .router import FleetConfig, FleetEntry, FleetResult, FleetRouter
+from .shard import (ACTIVE, DEAD, DRAINING, RETIRED, ShardBatch,
+                    ShardPool, output_digest, run_shard_batch)
+
+__all__ = [
+    'AutoscalePolicy', 'Autoscaler',
+    'FLEET_REPORT_KIND', 'FLEET_REPORT_SCHEMA', 'FleetInvariantError',
+    'build_fleet_report', 'check_conservation', 'load_fleet_report',
+    'render_fleet_report', 'validate_fleet_report',
+    'FleetConfig', 'FleetEntry', 'FleetResult', 'FleetRouter',
+    'ACTIVE', 'DEAD', 'DRAINING', 'RETIRED', 'ShardBatch', 'ShardPool',
+    'output_digest', 'run_shard_batch',
+]

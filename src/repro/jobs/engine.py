@@ -59,11 +59,11 @@ def run_job(spec: JobSpec):
         max_cycles=spec.max_cycles)
 
 
-def _worker_entry(job_fn, spec, conn):
+def _worker_entry(job_fn, spec, conn, encode=result_to_dict):
     """Run one job and ship the serialized result (or traceback) back."""
     try:
         result = job_fn(spec)
-        conn.send(('ok', result_to_dict(result)))
+        conn.send(('ok', encode(result)))
     except BaseException:
         try:
             conn.send(('error', traceback.format_exc()))
@@ -117,6 +117,12 @@ class SweepEngine:
     progress:
         ``callback(outcome, done, total)`` fired as each job reaches a
         terminal state.
+    encode / decode:
+        The wire format a result takes across the worker pipe.  The
+        defaults carry :class:`~repro.harness.runner.RunResult`s
+        losslessly; other farms (``repro.fleet`` ships serving-report
+        dicts) substitute their own pair.  ``decode`` must accept the
+        encoded payload and return the outcome's ``result`` object.
 
     ``self.launched`` counts actual worker launches — the number tests
     assert on to prove cache hits and resumes do no simulation work.
@@ -127,7 +133,9 @@ class SweepEngine:
                  job_fn: Callable = run_job, retry_errors: bool = False,
                  progress: Optional[Callable] = None,
                  mp_context: Optional[str] = None,
-                 poll_interval: float = 0.02):
+                 poll_interval: float = 0.02,
+                 encode: Callable = result_to_dict,
+                 decode: Callable = None):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = max(0, int(retries))
@@ -141,6 +149,10 @@ class SweepEngine:
             mp_context = ('fork' if 'fork' in mp.get_all_start_methods()
                           else 'spawn')
         self.ctx = mp.get_context(mp_context)
+        self.encode = encode
+        self.decode = (decode if decode is not None
+                       else lambda doc: result_from_dict(
+                           doc, source='simulated'))
         self.launched = 0
 
     # ------------------------------------------------------------------ api
@@ -197,8 +209,7 @@ class SweepEngine:
                             f'worker exited without a result '
                             f'(exitcode {info["proc"].exitcode})')
                     elif payload[0] == 'ok':
-                        result = result_from_dict(payload[1],
-                                                  source='simulated')
+                        result = self.decode(payload[1])
                         if self.store is not None:
                             self.store.put(info['key'], result)
                         self._finish(JobOutcome(
@@ -237,7 +248,8 @@ class SweepEngine:
         spec, key, attempt = item
         recv, send = self.ctx.Pipe(duplex=False)
         proc = self.ctx.Process(target=_worker_entry,
-                                args=(self.job_fn, spec, send), daemon=True)
+                                args=(self.job_fn, spec, send, self.encode),
+                                daemon=True)
         proc.start()
         send.close()
         self.launched += 1

@@ -27,6 +27,26 @@ from ..manycore.stats import CoreStats, MemStats, RunStats
 RESULT_SCHEMA_VERSION = 1
 
 
+def stats_to_dict(stats: RunStats) -> dict:
+    """Flatten a RunStats (full per-core + memory counters) losslessly."""
+    return {
+        'cycles': stats.cycles,
+        'noc_word_hops': stats.noc_word_hops,
+        'mem': dataclasses.asdict(stats.mem),
+        'cores': {str(cid): dataclasses.asdict(cs)
+                  for cid, cs in stats.cores.items()},
+    }
+
+
+def stats_from_dict(sd: dict) -> RunStats:
+    return RunStats(
+        cycles=sd['cycles'],
+        cores={int(cid): CoreStats(**cs)
+               for cid, cs in sd['cores'].items()},
+        mem=MemStats(**sd['mem']),
+        noc_word_hops=sd['noc_word_hops'])
+
+
 def result_to_dict(r: RunResult) -> dict:
     """Flatten one RunResult to a JSON-safe dict (telemetry excluded)."""
     return {
@@ -34,13 +54,7 @@ def result_to_dict(r: RunResult) -> dict:
         'benchmark': r.benchmark,
         'config': r.config,
         'cycles': r.cycles,
-        'stats': {
-            'cycles': r.stats.cycles,
-            'noc_word_hops': r.stats.noc_word_hops,
-            'mem': dataclasses.asdict(r.stats.mem),
-            'cores': {str(cid): dataclasses.asdict(cs)
-                      for cid, cs in r.stats.cores.items()},
-        },
+        'stats': stats_to_dict(r.stats),
         'energy': (dataclasses.asdict(r.energy)
                    if r.energy is not None else None),
         'params': dict(r.params) if r.params is not None else None,
@@ -60,13 +74,7 @@ def result_from_dict(doc: dict, source: str = 'store') -> RunResult:
     if version != RESULT_SCHEMA_VERSION:
         raise ValueError(f'result schema v{version} != '
                          f'v{RESULT_SCHEMA_VERSION}')
-    sd = doc['stats']
-    stats = RunStats(
-        cycles=sd['cycles'],
-        cores={int(cid): CoreStats(**cs)
-               for cid, cs in sd['cores'].items()},
-        mem=MemStats(**sd['mem']),
-        noc_word_hops=sd['noc_word_hops'])
+    stats = stats_from_dict(doc['stats'])
     energy: Optional[EnergyBreakdown] = (
         EnergyBreakdown(**doc['energy'])
         if doc.get('energy') is not None else None)

@@ -14,10 +14,52 @@ configuration registry.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+#: flattened reference outputs keyed by (benchmark, params, workspace
+#: fingerprint); repeated verifies of the same workload (bench repeats,
+#: sweeps, per-request serve checks) skip the numpy recompute
+_EXPECTED_CACHE: 'OrderedDict[tuple, Dict[str, np.ndarray]]' = OrderedDict()
+_EXPECTED_CACHE_CAP = 64
+_expected_cache_hits = 0
+
+
+def expected_cache_hits() -> int:
+    """Number of reference recomputes avoided (for tests/diagnostics)."""
+    return _expected_cache_hits
+
+
+def clear_expected_cache() -> None:
+    global _expected_cache_hits
+    _EXPECTED_CACHE.clear()
+    _expected_cache_hits = 0
+
+
+def _workspace_fingerprint(name: str, ws: 'Workspace',
+                           params: Dict[str, int]) -> str:
+    """Digest of everything ``expected`` may read: params, inputs, meta."""
+    h = hashlib.sha256()
+    h.update(name.encode())
+    h.update(repr(sorted(params.items())).encode())
+    for k in sorted(ws.inputs):
+        a = ws.inputs[k]
+        h.update(k.encode())
+        h.update(str(a.shape).encode())
+        h.update(np.ascontiguousarray(a).tobytes())
+    for k in sorted(ws.meta):
+        v = ws.meta[k]
+        h.update(k.encode())
+        if isinstance(v, np.ndarray):
+            h.update(str(v.shape).encode())
+            h.update(np.ascontiguousarray(v).tobytes())
+        else:
+            h.update(repr(v).encode())
+    return h.hexdigest()
 
 from ..isa import Program
 from ..manycore import Fabric
@@ -83,13 +125,40 @@ class Benchmark:
     def verify(self, fabric: Fabric, ws: Workspace,
                params: Dict[str, int], rtol: float = 1e-6,
                atol: float = 1e-6) -> None:
-        for name, want in self.expected(ws, params).items():
-            flat = np.asarray(want, dtype=float).ravel()
+        for name, flat in self.expected_flat(ws, params).items():
             got = np.array(fabric.read_array(ws.base(name), flat.size),
                            dtype=float)
             np.testing.assert_allclose(
                 got, flat, rtol=rtol, atol=atol,
                 err_msg=f'{self.name}: array {name!r} mismatch')
+
+    def expected_flat(self, ws: Workspace,
+                      params: Dict[str, int]) -> Dict[str, np.ndarray]:
+        """Flattened :meth:`expected` outputs, memoized per workload.
+
+        The cache key digests the benchmark name, params, and the whole
+        workspace (inputs *and* meta — BFS reads its golden depths off
+        ``ws.meta``), so two workspaces that could diverge never share
+        an entry.  Entries are read-only by convention; callers must
+        not mutate the returned arrays.
+        """
+        global _expected_cache_hits
+        # the function's code object is part of the key, so replacing
+        # ``expected`` (tests monkey-patch it) can never hit stale
+        # entries computed by the previous implementation
+        code = getattr(self.expected, '__code__', None)
+        key = (code, _workspace_fingerprint(self.name, ws, params))
+        hit = _EXPECTED_CACHE.get(key)
+        if hit is not None:
+            _expected_cache_hits += 1
+            _EXPECTED_CACHE.move_to_end(key)
+            return hit
+        flats = {name: np.asarray(want, dtype=float).ravel()
+                 for name, want in self.expected(ws, params).items()}
+        _EXPECTED_CACHE[key] = flats
+        while len(_EXPECTED_CACHE) > _EXPECTED_CACHE_CAP:
+            _EXPECTED_CACHE.popitem(last=False)
+        return flats
 
     # -- helpers ----------------------------------------------------------------
     def alloc_np(self, fabric: Fabric, ws: Workspace, name: str,

@@ -13,6 +13,8 @@ suite's index-based initializers.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 # PolyBench/GPU 2D convolution coefficients
@@ -25,8 +27,15 @@ PLANE3D = np.array([0.5, 1.0, 0.25])
 
 
 def rng(name: str) -> np.random.Generator:
-    """Deterministic per-benchmark input generator."""
-    seed = abs(hash(name)) % (2 ** 31)
+    """Deterministic per-benchmark input generator.
+
+    Seeded from a *stable* digest of the benchmark name — Python's
+    ``hash(str)`` is randomized per interpreter, which would make input
+    data (and thus every fleet output digest and stored result) differ
+    between invocations of the same command.
+    """
+    seed = int.from_bytes(hashlib.sha256(name.encode()).digest()[:4],
+                          'little')
     return np.random.default_rng(seed)
 
 

@@ -58,7 +58,7 @@ BENCH_SUITE: List[BenchCase] = [
               {'benchmark': 'mvt', 'config': 'V16', 'scale': 'test'},
               fast=False),
     BenchCase('vector-fdtd', 'vector',
-              {'benchmark': 'fdtd2d', 'config': 'V4', 'scale': 'test'},
+              {'benchmark': 'fdtd-2d', 'config': 'V4', 'scale': 'test'},
               fast=False),
     BenchCase('serve-mixed', 'serve',
               {'seed': 8, 'requests': 6, 'scale': 'test'}),
@@ -127,21 +127,83 @@ def peak_rss_kb() -> int:
     return int(rss)
 
 
+@dataclass(frozen=True, eq=False)
+class _IsolatedRepeat:
+    """One isolated repeat: a :mod:`repro.jobs` spec for a bench case."""
+
+    case_name: str
+    kind: str
+    workload: Dict[str, object]
+    repeat: int
+
+    def key(self) -> str:
+        return f'bench-iso-{self.case_name}-r{self.repeat}'
+
+    def label(self) -> str:
+        return f'{self.case_name}[r{self.repeat}]'
+
+
+def _isolated_repeat_job(spec: _IsolatedRepeat) -> dict:
+    """Worker entry: time one repeat inside a pristine interpreter."""
+    case = BenchCase(spec.case_name, spec.kind, dict(spec.workload))
+    t0 = perf_counter()
+    sim = _run_case_once(case)
+    return {'wall': perf_counter() - t0, 'sim': sim,
+            'peak_rss_kb': peak_rss_kb()}
+
+
+def _run_case_isolated(case: BenchCase, repeats: int,
+                       timeout: Optional[float]) -> tuple:
+    """Run each repeat in its own worker process, one at a time.
+
+    Process isolation removes in-process cross-talk between repeats
+    (allocator reuse, reference-cache warmth, GC debt from the previous
+    repeat) at fork/exec cost; repeats stay sequential so they never
+    contend for cores.  Child peak RSS replaces the parent's lifetime
+    high-water mark, which makes the per-case RSS figure meaningful
+    again instead of monotone over the suite.
+    """
+    from ..jobs.engine import DONE, SweepEngine
+    specs = [_IsolatedRepeat(case.name, case.kind, dict(case.workload), i)
+             for i in range(max(1, repeats))]
+    eng = SweepEngine(jobs=1, retries=0, store=None, timeout=timeout,
+                      job_fn=_isolated_repeat_job,
+                      encode=lambda d: d, decode=lambda d: d)
+    outcomes = eng.execute(specs)
+    bad = [o for o in outcomes if o.status != DONE]
+    if bad:
+        raise RuntimeError(
+            f'bench case {case.name}: {len(bad)} isolated repeat(s) '
+            f'{bad[0].status}: {bad[0].error}')
+    walls = [o.result['wall'] for o in outcomes]
+    sims = [o.result['sim'] for o in outcomes]
+    rss = max(o.result['peak_rss_kb'] for o in outcomes)
+    return walls, sims, rss
+
+
 def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS,
-             profile: bool = False, deep: bool = False) -> dict:
+             profile: bool = False, deep: bool = False,
+             isolate: bool = False,
+             isolate_timeout: Optional[float] = None) -> dict:
     """Run one case ``repeats`` times; returns its report section.
 
     When ``profile`` is set, one *extra* profiled repeat runs after the
     timing repeats (the instrumented loop costs a few percent, so it is
     kept out of the wall-time statistics) and its component attribution
-    is embedded under ``profile``.
+    is embedded under ``profile``.  ``isolate`` runs every timing repeat
+    in its own worker process (see :func:`_run_case_isolated`).
     """
-    walls: List[float] = []
-    sims: List[Dict[str, int]] = []
-    for _ in range(max(1, repeats)):
-        t0 = perf_counter()
-        sims.append(_run_case_once(case))
-        walls.append(perf_counter() - t0)
+    if isolate:
+        walls, sims, rss = _run_case_isolated(case, repeats,
+                                              isolate_timeout)
+    else:
+        walls = []
+        sims = []
+        for _ in range(max(1, repeats)):
+            t0 = perf_counter()
+            sims.append(_run_case_once(case))
+            walls.append(perf_counter() - t0)
+        rss = peak_rss_kb()
     deterministic = all(s == sims[0] for s in sims)
     sim = sims[0]
     med = statistics.median(walls)
@@ -168,8 +230,9 @@ def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS,
             'cycles_per_host_second': sim['cycles'] / med if med else 0.0,
             'instrs_per_host_second': sim['instrs'] / med if med else 0.0,
         },
-        'peak_rss_kb': peak_rss_kb(),
+        'peak_rss_kb': rss,
         'deterministic': deterministic,
+        'isolated': isolate,
     }
     if profile:
         from .profiler import HostProfiler
@@ -182,6 +245,8 @@ def run_case(case: BenchCase, repeats: int = DEFAULT_REPEATS,
 def run_suite(fast: bool = False, repeats: Optional[int] = None,
               names: Optional[Sequence[str]] = None, label: str = 'local',
               profile: bool = False, deep: bool = False,
+              isolate: bool = False,
+              isolate_timeout: Optional[float] = None,
               progress: Optional[Callable] = None) -> dict:
     """Run the (selected) suite and build the bench report document."""
     cases = suite_cases(fast=fast, names=names)
@@ -189,7 +254,8 @@ def run_suite(fast: bool = False, repeats: Optional[int] = None,
         repeats = FAST_REPEATS if fast else DEFAULT_REPEATS
     out = []
     for i, case in enumerate(cases):
-        doc = run_case(case, repeats=repeats, profile=profile, deep=deep)
+        doc = run_case(case, repeats=repeats, profile=profile, deep=deep,
+                       isolate=isolate, isolate_timeout=isolate_timeout)
         out.append(doc)
         if progress is not None:
             progress(doc, i + 1, len(cases))
@@ -232,6 +298,7 @@ CASE_SCHEMA = {
         },
         'peak_rss_kb': _COUNTER,
         'deterministic': {'type': 'boolean'},
+        'isolated': {'type': 'boolean'},
         'profile': {
             'type': 'object',
             'required': ['total_seconds', 'components', 'residual_seconds',

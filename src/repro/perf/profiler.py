@@ -173,7 +173,10 @@ class HostProfiler:
         classify = self._classify
         pc = perf_counter
         import heapq
+        from ..manycore.fabric import (_SCHED_TO_HEAP as _TO_HEAP,
+                                       _SCHED_TO_SCAN as _TO_SCAN)
         heappop = heapq.heappop
+        heappush = heapq.heappush
 
         tel = fabric.telemetry
         sampler = None
@@ -190,17 +193,31 @@ class HostProfiler:
             if obs.interval:
                 next_obs = obs.next_due
         heap = fabric._heap
+        wheap = fabric._wake_heap
         active = [t for t in fabric._active if not t.halted]
         fabric._active_dirty = False
+        heap_mode = False
+        fabric._sched_heap_mode = False
+        streak = 0
         while True:
             t0 = pc()
             if fabric._active_dirty:
                 active = [t for t in fabric._active if not t.halted]
                 fabric._active_dirty = False
+                if heap_mode:
+                    fabric._rebuild_wake_heap(active)
+            elif heap_mode and len(wheap) > (len(active) << 2) + 64:
+                fabric._rebuild_wake_heap(active)
             if not active and not (serve and fabric._pending_events):
                 acc['sched'] = acc.get('sched', 0.0) + pc() - t0
                 break
-            now = min(t.next_wake for t in active) if active else _INF
+            if heap_mode:
+                while wheap and (wheap[0][2] != wheap[0][3]._wake_entry
+                                 or wheap[0][3].halted):
+                    heappop(wheap)
+                now = wheap[0][0] if wheap else _INF
+            else:
+                now = min(t.next_wake for t in active) if active else _INF
             head = fabric._peek_live()
             if head is not None and head < now:
                 now = head
@@ -243,11 +260,59 @@ class HostProfiler:
                     comp = classify(fn)
                     acc[comp] = acc.get(comp, 0.0) + t - t1
                     t1 = t
-            for t in active:
-                if t.next_wake <= now and not t.halted:
+            n = len(active)
+            s = 0
+            if heap_mode:
+                epoch = fabric._wake_epoch
+                due = []
+                while wheap and wheap[0][0] <= now:
+                    _, order, c, t = heappop(wheap)
+                    if (c == t._wake_entry and not t.halted
+                            and t._wake_epoch == epoch):
+                        due.append((order, t))
+                due.sort()
+                t = pc()
+                acc['sched'] = acc.get('sched', 0.0) + t - t1
+                t1 = t
+                for order, t in due:
+                    if t.halted or t.next_wake > now:
+                        continue
                     nw = t.step(now)
-                    t.next_wake = nw if nw > now else now + 1
+                    t.next_wake = nw = nw if nw > now else now + 1
+                    fabric._wake_counter = c = fabric._wake_counter + 1
+                    t._wake_entry = c
+                    if nw < _INF:
+                        heappush(wheap, (nw, order, c, t))
+                    s += 1
+                if s << 2 >= n:
+                    streak += 1
+                    if streak >= _TO_SCAN:
+                        heap_mode = False
+                        fabric._sched_heap_mode = False
+                        del wheap[:]
+                        streak = 0
+                else:
+                    streak = 0
+            else:
+                t = pc()
+                acc['sched'] = acc.get('sched', 0.0) + t - t1
+                t1 = t
+                for t in active:
+                    if t.next_wake <= now and not t.halted:
+                        nw = t.step(now)
+                        t.next_wake = nw if nw > now else now + 1
+                        s += 1
+                if s << 3 <= n:
+                    streak += 1
+                    if streak >= _TO_HEAP:
+                        heap_mode = True
+                        fabric._sched_heap_mode = True
+                        fabric._rebuild_wake_heap(active)
+                        streak = 0
+                else:
+                    streak = 0
             acc['tile_step'] = acc.get('tile_step', 0.0) + pc() - t1
+        fabric._sched_heap_mode = False
 
     # ---------------------------------------------------------- classification
     def _classify(self, fn) -> str:

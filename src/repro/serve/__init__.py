@@ -19,8 +19,9 @@ from .report import (BREAKDOWN_SCHEMA, SERVE_REPORT_KIND,
 from .request import (DONE, FAILED, KernelRequest, QUEUED, REJECTED,
                       RUNNING, TERMINAL, TIMED_OUT)
 from .scheduler import ServeResult, ServeScheduler, serve_trace
-from .tracegen import (DEFAULT_KERNELS, DEFAULT_SHAPES, generate_trace,
-                       load_trace, save_trace)
+from .tracegen import (DEFAULT_KERNELS, DEFAULT_SHAPES, PATTERNS,
+                       SIZE_LADDERS, generate_trace, load_trace,
+                       open_loop_trace, save_trace)
 
 __all__ = [
     'AllocStats', 'Region', 'RegionAllocator',
@@ -32,6 +33,6 @@ __all__ = [
     'DONE', 'FAILED', 'KernelRequest', 'QUEUED', 'REJECTED', 'RUNNING',
     'TERMINAL', 'TIMED_OUT',
     'ServeResult', 'ServeScheduler', 'serve_trace',
-    'DEFAULT_KERNELS', 'DEFAULT_SHAPES', 'generate_trace', 'load_trace',
-    'save_trace',
+    'DEFAULT_KERNELS', 'DEFAULT_SHAPES', 'PATTERNS', 'SIZE_LADDERS',
+    'generate_trace', 'load_trace', 'open_loop_trace', 'save_trace',
 ]

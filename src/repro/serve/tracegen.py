@@ -6,13 +6,27 @@ so a trace can be named in CI ("seed 3, 6 requests") and replayed
 bit-identically anywhere.  Arrivals follow a geometric interarrival
 process (the discrete analogue of Poisson arrivals); shapes are drawn
 from the configured (lanes, groups) menu.
+
+:func:`open_loop_trace` extends this to *realistic* open-loop traffic
+for the fleet (``repro.fleet``): the arrival rate is modulated by a
+seeded **diurnal wave** (a sinusoid over a configurable "day"), seeded
+**bursts** (short windows of near-simultaneous arrivals, the discrete
+analogue of a Markov-modulated Poisson process), and request sizes are
+drawn **heavy-tailed** — most requests take the smallest shape/problem
+size, a Pareto-distributed minority take the larger ones.  It is a
+*streaming generator*: requests are produced one at a time with O(1)
+state, so traces of millions of requests can be routed without ever
+being materialized, and the same ``(seed, n)`` prefix is bit-identical
+in any process (only ``random.Random`` is consulted, never the
+platform hash seed).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..kernels import registry
 from .request import KernelRequest
@@ -23,6 +37,18 @@ DEFAULT_KERNELS = ('mvt', 'gesummv', 'atax')
 
 #: default group-shape menu: (lanes, groups)
 DEFAULT_SHAPES = ((4, 1), (4, 2), (4, 3))
+
+#: traffic patterns understood by :func:`open_loop_trace`
+PATTERNS = ('steady', 'diurnal', 'bursty', 'mixed')
+
+#: per-kernel problem-size ladders for heavy-tailed request sizes; every
+#: rung is compatible with each shape in DEFAULT_SHAPES (all are
+#: power-of-two matvec widths, so vector spans always fit them)
+SIZE_LADDERS: Dict[str, List[Dict[str, int]]] = {
+    'mvt': [{'n': 16}, {'n': 32}, {'n': 64}],
+    'gesummv': [{'n': 16}, {'n': 32}, {'n': 64}],
+    'atax': [{'n': 16}, {'n': 32}, {'n': 64}],
+}
 
 
 def generate_trace(seed: int, n_requests: int,
@@ -48,6 +74,103 @@ def generate_trace(seed: int, n_requests: int,
         # admission order is stable under queue sorting
         arrival += 1 + int(rng.expovariate(1.0 / max(1, mean_interarrival)))
     return requests
+
+
+def _heavy_tail_index(rng: random.Random, n: int, alpha: float) -> int:
+    """Pareto-distributed rung pick: index 0 dominates, tail reaches n-1.
+
+    A unit-Pareto draw ``x >= 1`` is mapped to ``floor(log2(x))`` so the
+    probability of rung *k* decays geometrically with exponent
+    ``alpha`` — the classic heavy-tailed size mix (many mice, few
+    elephants) — then clamped to the ladder.
+    """
+    x = rng.paretovariate(alpha)
+    return min(n - 1, int(math.log2(x) + 1e-12) if x >= 1 else 0)
+
+
+def open_loop_trace(seed: int, n_requests: int,
+                    pattern: str = 'mixed',
+                    kernels: Sequence[str] = DEFAULT_KERNELS,
+                    shapes: Sequence[Tuple[int, int]] = DEFAULT_SHAPES,
+                    scale: str = 'test',
+                    mean_interarrival: int = 2000,
+                    priorities: Sequence[int] = (0, 1, 2),
+                    timeout: Optional[int] = None,
+                    day_cycles: int = 200_000,
+                    diurnal_amplitude: float = 0.8,
+                    burst_every: int = 40_000,
+                    burst_len: int = 8,
+                    burst_compression: int = 50,
+                    tail_alpha: float = 1.3,
+                    size_ladders: Optional[Dict[str, List[Dict[str, int]]]]
+                    = None) -> Iterator[KernelRequest]:
+    """Stream an open-loop request trace (arrivals independent of service).
+
+    Yields ``n_requests`` :class:`KernelRequest`\\ s one at a time — O(1)
+    generator state, so million-request traces need no materialization.
+    ``pattern`` selects the arrival process:
+
+    * ``steady``  — the plain geometric process of
+      :func:`generate_trace`;
+    * ``diurnal`` — the instantaneous rate follows a seeded sinusoid
+      with period ``day_cycles`` and the given amplitude (a "day" of
+      peak and trough load);
+    * ``bursty``  — geometrically spaced bursts (mean gap
+      ``burst_every``) of ``burst_len`` requests whose interarrivals
+      are compressed by ``burst_compression``;
+    * ``mixed``   — diurnal base rate plus bursts (the default; this is
+      what the fleet router and autoscaler are tested under).
+
+    Request *sizes* are heavy-tailed on two axes: the group shape is
+    drawn Pareto-style from ``shapes`` ordered by tile count, and the
+    problem size from the kernel's ``size_ladders`` rung (when the
+    kernel has one and ``scale`` is ``test``; at bench scale the
+    registered bench params are used unmodified).
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f'unknown traffic pattern {pattern!r}; choose '
+                         f'from {", ".join(PATTERNS)}')
+    rng = random.Random(seed)
+    ladders = SIZE_LADDERS if size_ladders is None else size_ladders
+    shape_menu = sorted(shapes, key=lambda lg: lg[1] * (lg[0] + 1))
+    kernel_menu = list(kernels)
+    diurnal = pattern in ('diurnal', 'mixed')
+    bursty = pattern in ('bursty', 'mixed')
+    arrival = 0
+    burst_left = 0
+    next_burst = (1 + int(rng.expovariate(1.0 / max(1, burst_every)))
+                  if bursty else None)
+    for i in range(n_requests):
+        kernel = rng.choice(kernel_menu)
+        lanes, groups = shape_menu[
+            _heavy_tail_index(rng, len(shape_menu), tail_alpha)]
+        ladder = ladders.get(kernel)
+        if scale == 'test' and ladder:
+            params = dict(ladder[
+                _heavy_tail_index(rng, len(ladder), tail_alpha)])
+        else:
+            params = registry.make(kernel).params_for(scale)
+        yield KernelRequest(
+            req_id=i, kernel=kernel, params=params, lanes=lanes,
+            groups=groups, priority=rng.choice(list(priorities)),
+            arrival=arrival, timeout=timeout)
+        # ---- advance the arrival clock (open loop: never waits on us)
+        rate_scale = 1.0
+        if diurnal:
+            phase = 2.0 * math.pi * (arrival % day_cycles) / day_cycles
+            rate_scale = 1.0 + diurnal_amplitude * math.sin(phase)
+            rate_scale = max(rate_scale, 0.05)
+        gap_mean = max(1.0, mean_interarrival / rate_scale)
+        if bursty:
+            if burst_left > 0:
+                burst_left -= 1
+                gap_mean = max(1.0, gap_mean / burst_compression)
+            elif arrival >= next_burst:
+                burst_left = burst_len - 1
+                next_burst = arrival + 1 + int(
+                    rng.expovariate(1.0 / max(1, burst_every)))
+                gap_mean = max(1.0, gap_mean / burst_compression)
+        arrival += 1 + int(rng.expovariate(1.0 / gap_mean))
 
 
 def save_trace(path: str, requests: List[KernelRequest]) -> None:

@@ -83,6 +83,33 @@ def test_serve_slo_contract(tmp_path, capsys):
     capsys.readouterr()
 
 
+FLEET = ['fleet', '--seed', '3', '--requests', '4', '--shards', '2',
+         '--pattern', 'steady']
+
+
+def test_fleet_success_is_zero(capsys):
+    assert main(FLEET) == 0
+    capsys.readouterr()
+
+
+def test_fleet_slo_fail_is_two(tmp_path, capsys):
+    failing = tmp_path / 'fail.json'
+    failing.write_text(json.dumps({'latency_p99': {'fail': 1}}))
+    assert main(FLEET + ['--slo', str(failing)]) == 2
+    capsys.readouterr()
+
+
+def test_fleet_invalid_policies_are_two(tmp_path, capsys):
+    bad_slo = tmp_path / 'bad_slo.json'
+    bad_slo.write_text(json.dumps({'latency_p99': {'kind': 'bogus'}}))
+    assert main(FLEET + ['--slo', str(bad_slo)]) == 2
+    bad_auto = tmp_path / 'bad_auto.json'
+    bad_auto.write_text(json.dumps({'no_such_knob': 1}))
+    assert main(FLEET + ['--autoscale', str(bad_auto)]) == 2
+    assert main(FLEET + ['--crash', 'zero@zero']) == 2
+    capsys.readouterr()
+
+
 def test_bench_compare_invalid_is_one(tmp_path, capsys):
     bad = tmp_path / 'bad.json'
     bad.write_text('not json at all')

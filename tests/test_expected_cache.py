@@ -1,0 +1,66 @@
+"""Reference-result cache: repeated verifies skip the numpy recompute."""
+
+import numpy as np
+import pytest
+
+from repro.harness import run_benchmark
+from repro.kernels import registry
+from repro.kernels.base import (clear_expected_cache, expected_cache_hits)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_expected_cache()
+    yield
+    clear_expected_cache()
+
+
+def test_repeat_run_hits_the_cache():
+    bench = registry.make('mvt')
+    params = bench.params_for('test')
+    r1 = run_benchmark(bench, 'V4', params)
+    assert expected_cache_hits() == 0
+    r2 = run_benchmark(bench, 'V4', params)
+    assert expected_cache_hits() == 1
+    assert r1.cycles == r2.cycles
+
+
+def test_different_params_miss():
+    bench = registry.make('mvt')
+    small = dict(bench.params_for('test'))
+    run_benchmark(bench, 'V4', small)
+    bigger = {k: v * 2 for k, v in small.items()}
+    run_benchmark(bench, 'V4', bigger)
+    assert expected_cache_hits() == 0
+
+
+def test_cached_reference_still_catches_corruption():
+    # warm the cache, then verify against a fabric that never ran: the
+    # memoized expected values must still fail verification
+    bench = registry.make('gemm')
+    params = bench.params_for('test')
+    run_benchmark(bench, 'NV', params)
+    assert expected_cache_hits() == 0
+
+    from repro.manycore import Fabric
+    fabric = Fabric()
+    ws = bench.setup(fabric, params)
+    with pytest.raises(AssertionError):
+        bench.verify(fabric, ws, params)  # never ran: outputs are zero
+    assert expected_cache_hits() >= 1
+
+
+def test_monkeypatched_expected_bypasses_cache():
+    bench = registry.make('mvt')
+    params = bench.params_for('test')
+    run_benchmark(bench, 'V4', params)
+
+    orig = bench.expected
+
+    def doctored(ws, p):
+        out = orig(ws, p)
+        return {k: np.asarray(v) + 1.0 for k, v in out.items()}
+
+    bench.expected = doctored
+    with pytest.raises(AssertionError):
+        run_benchmark(bench, 'V4', params)

@@ -1,0 +1,201 @@
+"""Fleet: router invariants, shard-crash bit-identity, autoscaler logic.
+
+The process-spawning end-to-end runs are kept small (matvec n=16, a
+handful of requests) so the suite stays fast; the autoscaler and report
+invariants are unit-tested without any workers.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (ACTIVE, DEAD, RETIRED, AutoscalePolicy, Autoscaler,
+                         FleetConfig, FleetInvariantError, FleetRouter,
+                         ShardBatch, build_fleet_report, check_conservation,
+                         output_digest, validate_fleet_report)
+from repro.serve import DONE, KernelRequest
+
+
+def _trace(n=10, spacing=3000, kernel='mvt', size=16):
+    return [KernelRequest(req_id=i, kernel=kernel, params={'n': size},
+                          lanes=4, groups=1, arrival=i * spacing)
+            for i in range(n)]
+
+
+def _run(trace, **cfg_kwargs):
+    cfg = FleetConfig(**{'shards': 2, 'workers': 2,
+                         'epoch_cycles': 20_000, **cfg_kwargs})
+    return FleetRouter(cfg).run(iter(trace))
+
+
+class TestFleetEndToEnd:
+    def test_clean_run_completes_conserves_and_reports(self):
+        result = _run(_trace(8))
+        assert len(result.entries) == 8
+        assert all(e.state == DONE for e in result.entries)
+        assert all(e.digest for e in result.entries)
+        # global latency decomposes: router wait is folded into the
+        # queue phase, so each record's breakdown sums to its latency
+        doc = build_fleet_report(result, pattern='test', seed=0)
+        validate_fleet_report(doc)
+        check_conservation(doc)
+        s = doc['summary']
+        assert s['completed'] == 8 and s['rejected'] == 0
+        assert s['total_instrs'] > 0
+        assert doc['fleet']['crashes'] == 0
+
+    def test_shard_crash_rerouted_and_bit_identical(self):
+        trace = _trace(8)
+        clean = _run(trace)
+        crashed = _run(trace, crashes=((0, 0),))
+        assert crashed.crashes == 1
+        assert crashed.rerouted > 0
+        assert any(sh.state == DEAD for sh in crashed.shards)
+        # the fleet floor was restored by a replacement shard
+        assert any(ev['action'] == 'replace' for ev in crashed.events)
+        assert all(e.state == DONE for e in crashed.entries)
+        # re-executed requests produce byte-identical outputs: the
+        # serving plane's isolated-run equivalence makes results
+        # independent of which shard (and batch mix) ran them
+        ref = {e.req.req_id: e.digest for e in clean.entries}
+        got = {e.req.req_id: e.digest for e in crashed.entries}
+        assert got == ref
+        doc = build_fleet_report(crashed)
+        validate_fleet_report(doc)
+        check_conservation(doc)
+
+    def test_admission_control_rejects_and_still_conserves(self):
+        # every request arrives at cycle 0 against a queue cap of 2
+        trace = _trace(6, spacing=0)
+        result = _run(trace, max_queue=2, shard_queue_cap=1)
+        rejected = [e for e in result.entries if e.state == 'rejected']
+        assert result.rejected_admission == len(rejected) > 0
+        assert all('admission control' in e.record['error']
+                   for e in rejected)
+        doc = build_fleet_report(result)
+        validate_fleet_report(doc)
+        check_conservation(doc)  # submitted == completed + rejected + ...
+        assert doc['summary']['rejected'] == result.rejected_admission
+
+
+class TestAutoscaler:
+    def _policy(self, **kw):
+        return AutoscalePolicy(**{'min_shards': 1, 'max_shards': 4,
+                                  'latency_p99_up': 100.0,
+                                  'latency_p99_down': 50.0,
+                                  'util_down': 0.5, 'window_epochs': 3,
+                                  'up_consecutive': 1,
+                                  'down_consecutive': 2,
+                                  'cooldown_epochs': 2, **kw})
+
+    def test_scales_up_on_p99_breach_then_cools_down(self):
+        a = Autoscaler(self._policy())
+        a.observe_completion(0, 500)
+        assert a.decide(0, fleet_size=1) == 'up'
+        # cooldown swallows the next boundaries even though p99 still
+        # breaches — no flapping
+        a.observe_completion(1, 500)
+        assert a.decide(1, fleet_size=2) is None
+        assert a.decide(2, fleet_size=2) is None
+        a.observe_completion(3, 500)
+        assert a.decide(3, fleet_size=2) == 'up'
+        assert [e['action'] for e in a.events] == ['up', 'up']
+
+    def test_never_scales_past_max(self):
+        a = Autoscaler(self._policy(cooldown_epochs=0))
+        for epoch in range(4):
+            a.observe_completion(epoch, 500)
+            a.decide(epoch, fleet_size=4)
+        assert all(e['action'] != 'up' or e['shards_after'] <= 4
+                   for e in a.events)
+        a.observe_completion(9, 500)
+        assert a.decide(9, fleet_size=4) is None
+
+    def test_burst_latencies_age_out_of_the_window(self):
+        # burst pain at epoch 0 must stop driving decisions once the
+        # time window has moved past it
+        a = Autoscaler(self._policy(cooldown_epochs=0))
+        a.observe_completion(0, 10_000)
+        assert a.latency_p99 == 10_000
+        a.decide(10, fleet_size=2)
+        assert a.latency_p99 == 0.0
+
+    def test_scale_down_needs_quiet_window_and_streak(self):
+        a = Autoscaler(self._policy(cooldown_epochs=0))
+        a.observe_completion(0, 10)
+        a.observe_utilization(0, 0.1)
+        assert a.decide(0, fleet_size=2) is None  # streak 1 of 2
+        a.observe_completion(1, 10)
+        a.observe_utilization(1, 0.1)
+        assert a.decide(1, fleet_size=2) == 'down'
+
+    def test_no_drain_before_first_completion(self):
+        # an empty window reads p99 0 / util 0, but a cold fleet whose
+        # first batches are still in flight must not be drained
+        a = Autoscaler(self._policy(cooldown_epochs=0,
+                                    down_consecutive=1))
+        for epoch in range(5):
+            assert a.decide(epoch, fleet_size=2) is None
+        a.observe_completion(5, 10)
+        a.observe_utilization(5, 0.0)
+        assert a.decide(5, fleet_size=2) == 'down'
+
+    def test_never_below_min_shards(self):
+        a = Autoscaler(self._policy(cooldown_epochs=0,
+                                    down_consecutive=1))
+        a.observe_completion(0, 10)
+        a.observe_utilization(0, 0.0)
+        assert a.decide(0, fleet_size=1) is None
+
+    def test_policy_rejects_unknown_keys_and_bad_band(self):
+        with pytest.raises(ValueError, match='unknown autoscale key'):
+            AutoscalePolicy.from_dict({'latency_p99_upp': 1})
+        with pytest.raises(ValueError, match='hysteresis band'):
+            AutoscalePolicy(latency_p99_up=10.0, latency_p99_down=20.0)
+
+    def test_policy_roundtrips_through_file(self, tmp_path):
+        path = tmp_path / 'pol.json'
+        path.write_text(json.dumps({'max_shards': 6,
+                                    'latency_p99_up': 70_000}))
+        pol = AutoscalePolicy.load(str(path))
+        assert pol.max_shards == 6
+        assert pol.latency_p99_up == 70_000
+
+
+class TestFleetReportInvariants:
+    def test_conservation_violation_raises(self):
+        result = _run(_trace(4))
+        doc = build_fleet_report(result)
+        doc['summary']['completed'] -= 1
+        with pytest.raises(FleetInvariantError, match='conservation'):
+            check_conservation(doc)
+
+    def test_breakdown_violation_raises(self):
+        result = _run(_trace(4))
+        doc = build_fleet_report(result)
+        rec = next(r for r in doc['requests'] if r['state'] == 'done')
+        rec['breakdown']['queue'] += 1
+        with pytest.raises(FleetInvariantError, match='breakdown'):
+            check_conservation(doc)
+
+
+class TestShardBatch:
+    def _batch(self, **kw):
+        reqs = ({'req_id': 0, 'kernel': 'mvt', 'params': {'n': 16},
+                 'lanes': 4, 'groups': 1, 'priority': 0, 'arrival': 0,
+                 'timeout': None},)
+        return ShardBatch(**{'shard_id': 0, 'epoch': 0,
+                             'requests': reqs, **kw})
+
+    def test_key_is_content_addressed(self):
+        assert self._batch().key() == self._batch().key()
+        assert self._batch().key() != self._batch(shard_id=1).key()
+        assert self._batch().key() != self._batch(crash=True).key()
+
+    def test_output_digest_is_order_insensitive(self):
+        import numpy as np
+        a = {'x': np.arange(4.0), 'y': np.ones(3)}
+        b = {'y': np.ones(3), 'x': np.arange(4.0)}
+        assert output_digest(a) == output_digest(b)
+        b['x'] = b['x'] + 1e-12
+        assert output_digest(a) != output_digest(b)

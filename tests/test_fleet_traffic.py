@@ -1,0 +1,77 @@
+"""Open-loop traffic: determinism (in- and cross-process), streaming.
+
+The fleet re-executes crashed work from the same seeded trace, so the
+generator must be reproducible across interpreter instances — the
+cross-process test uses the ``spawn`` start method to get a genuinely
+fresh interpreter rather than a fork sharing this one's state.
+"""
+
+import multiprocessing as mp
+from itertools import islice
+
+from repro.serve import PATTERNS, SIZE_LADDERS, open_loop_trace
+
+
+def _snapshot(seed, n, pattern):
+    return [(r.req_id, r.kernel, tuple(sorted(r.params.items())),
+             r.lanes, r.groups, r.arrival)
+            for r in open_loop_trace(seed=seed, n_requests=n,
+                                     pattern=pattern)]
+
+
+def test_same_seed_same_trace_every_pattern():
+    for pattern in PATTERNS:
+        assert _snapshot(11, 60, pattern) == _snapshot(11, 60, pattern)
+
+
+def test_different_seeds_differ():
+    assert _snapshot(1, 60, 'mixed') != _snapshot(2, 60, 'mixed')
+
+
+def test_deterministic_across_process_boundary():
+    want = _snapshot(23, 80, 'mixed')
+    ctx = mp.get_context('spawn')
+    with ctx.Pool(1) as pool:
+        got = pool.apply(_snapshot, (23, 80, 'mixed'))
+    assert got == want
+
+
+def test_streams_lazily_at_scale():
+    # ten million requests must cost nothing until consumed
+    stream = open_loop_trace(seed=5, n_requests=10_000_000,
+                             pattern='mixed')
+    head = list(islice(stream, 500))
+    assert len(head) == 500
+    arrivals = [r.arrival for r in head]
+    assert arrivals == sorted(arrivals)
+    assert all(r.req_id == i for i, r in enumerate(head))
+
+
+def test_sizes_come_from_the_ladder():
+    for r in open_loop_trace(seed=7, n_requests=120, pattern='mixed'):
+        assert r.kernel in SIZE_LADDERS
+        assert r.params in SIZE_LADDERS[r.kernel]
+
+
+def test_bursty_pattern_compresses_interarrivals():
+    rs = list(open_loop_trace(seed=3, n_requests=400, pattern='bursty',
+                              mean_interarrival=4000,
+                              burst_every=40_000, burst_len=8,
+                              burst_compression=50))
+    gaps = [b.arrival - a.arrival for a, b in zip(rs, rs[1:])]
+    # bursts produce runs of gaps far below the open-loop mean
+    assert sum(1 for g in gaps if g < 4000 // 10) >= 8
+
+
+def test_diurnal_pattern_modulates_rate():
+    rs = list(open_loop_trace(seed=9, n_requests=600, pattern='diurnal',
+                              mean_interarrival=2000,
+                              day_cycles=200_000,
+                              diurnal_amplitude=0.8))
+    gaps = [b.arrival - a.arrival for a, b in zip(rs, rs[1:])]
+    # peak-vs-trough spread: the densest decile must be much tighter
+    # than the sparsest
+    gaps.sort()
+    dense = sum(gaps[:len(gaps) // 10])
+    sparse = sum(gaps[-len(gaps) // 10:])
+    assert sparse > 3 * max(1, dense)

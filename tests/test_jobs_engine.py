@@ -44,6 +44,25 @@ def _suicidal(spec):
     return _fake(spec)
 
 
+def _kill_until_count(spec):
+    """Die on every attempt until the attempt-counter file reaches its
+    budget; the counter lives on disk (path via env) because each
+    attempt runs in a fresh worker process."""
+    if spec.benchmark == 'doomed':
+        path = os.environ['REPRO_TEST_KILL_COUNTER']
+        budget = int(os.environ['REPRO_TEST_KILL_BUDGET'])
+        try:
+            with open(path) as f:
+                attempts = int(f.read() or 0)
+        except FileNotFoundError:
+            attempts = 0
+        with open(path, 'w') as f:
+            f.write(str(attempts + 1))
+        if attempts < budget:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _fake(spec)
+
+
 # names never hit the registry: the fake job_fns don't look benchmarks up
 SPECS = [JobSpec.make(b, 'NV') for b in ('alpha', 'beta', 'gamma')]
 
@@ -91,6 +110,33 @@ class TestFailureInjection:
                    for b in ('alpha', 'beta', 'gamma'))
         summary = render_summary(outcomes)
         assert 'CRASHED' in summary
+
+    def test_repeated_kills_recovered_within_retry_budget(
+            self, tmp_path, monkeypatch):
+        # SIGKILLed on attempts 1 and 2, succeeds on attempt 3
+        monkeypatch.setenv('REPRO_TEST_KILL_COUNTER',
+                           str(tmp_path / 'kills'))
+        monkeypatch.setenv('REPRO_TEST_KILL_BUDGET', '2')
+        specs = SPECS + [JobSpec.make('doomed', 'NV')]
+        engine = SweepEngine(jobs=2, retries=2, job_fn=_kill_until_count)
+        outcomes = engine.execute(specs)
+        by_bench = {o.spec.benchmark: o for o in outcomes}
+        assert by_bench['doomed'].status == DONE
+        assert by_bench['doomed'].attempts == 3
+        assert by_bench['doomed'].result.cycles == 7
+        assert all(by_bench[b].status == DONE
+                   for b in ('alpha', 'beta', 'gamma'))
+        assert not any_failed(outcomes)
+
+    def test_repeated_kills_exhaust_retries_and_mark_crashed(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv('REPRO_TEST_KILL_COUNTER',
+                           str(tmp_path / 'kills'))
+        monkeypatch.setenv('REPRO_TEST_KILL_BUDGET', '99')
+        engine = SweepEngine(jobs=1, retries=2, job_fn=_kill_until_count)
+        outcomes = engine.execute([JobSpec.make('doomed', 'NV')])
+        assert outcomes[0].status == CRASHED
+        assert outcomes[0].attempts == 3
 
     def test_sweep_report_records_failures(self):
         engine = SweepEngine(jobs=2, job_fn=_flaky)

@@ -181,3 +181,28 @@ def test_cli_bench_profile_embedded(tmp_path, capsys):
     assert prof['residual_seconds'] >= 0.0
     assert 'tile_step' in prof['components']
     capsys.readouterr()
+
+
+def test_isolated_repeats_match_in_process_results(bench_doc):
+    # --isolate runs every repeat in a fresh worker; simulated figures
+    # must be bit-identical to the in-process path (determinism across
+    # the process boundary), and the per-case RSS becomes the child's
+    from repro.perf import build_bench_report, run_case
+    case = suite_cases(names=[CASE])[0]
+    doc = run_case(case, repeats=2, isolate=True)
+    assert doc['isolated'] and doc['deterministic']
+    ref = bench_doc['cases'][0]['sim']
+    assert doc['sim']['cycles'] == ref['cycles']
+    assert doc['sim']['instrs'] == ref['instrs']
+    assert doc['peak_rss_kb'] > 0
+    validate_bench_report(build_bench_report([doc], label='iso'))
+
+
+def test_cli_bench_isolate_flag(tmp_path, capsys):
+    out = tmp_path / 'BENCH_iso.json'
+    rc = main(['bench', 'run', '--cases', CASE, '--repeats', '1',
+               '--isolate', '--label', 'iso', '--out', str(out)])
+    assert rc == 0
+    doc = load_bench_report(str(out))
+    assert doc['cases'][0]['isolated'] is True
+    capsys.readouterr()
