@@ -56,6 +56,14 @@ Commands
     median/IQR, cycles/host-second, peak RSS, provenance), optionally
     with the self-profiler attached; diff two bench files with a
     noise-aware regression gate (``--gate`` exits 2 on regression).
+``dse calibrate|explore|predict|report``
+    The analytical fast-path (docs/dse.md): fit the closed-form model's
+    per-kernel coefficients against discrete-simulator ground truth
+    (resumable `repro.jobs` sweep; schema-checked ``CALIB_*.json``;
+    ``--max-mape`` gates model drift with exit 2), triage a multi-hundred
+    point config space in closed form and re-simulate only the Pareto
+    frontier (``DSE_*.json``), predict single points, or validate and
+    render either artifact.
 ``version``
     Print the package version plus the code-version salt (and its
     hash) used for ResultStore keys, so bench/provenance records can
@@ -467,10 +475,9 @@ def cmd_sweep(args):
                          use_cache=not args.no_cache, progress=_progress)
     outcomes = engine.execute(specs, manifest=manifest)
     manifest.save()
-    print(render_summary(outcomes))
+    print(render_summary(outcomes, store=store))
     print(f'launched {engine.launched} worker(s); '
-          f'manifest: {manifest.path}; store: {store.root} '
-          f'({len(store)} result(s))')
+          f'manifest: {manifest.path}')
     if args.report:
         doc = build_sweep_report(outcomes, name=manifest.name,
                                  launched=engine.launched,
@@ -489,6 +496,163 @@ def cmd_sweep(args):
             print()
             print(fn(cache, **kwargs).render())
     return 0
+
+
+def _dse_load_model(calib):
+    """The analytical model for a dse subcommand: calibrated or priors."""
+    from .model import AnalyticModel, load_calib_report
+    if calib:
+        return AnalyticModel.from_calibration(load_calib_report(calib))
+    print('warning: no --calib given; predictions use uncalibrated '
+          'priors', file=sys.stderr)
+    return AnalyticModel.default()
+
+
+def cmd_dse(args):
+    from .model import calibrate as C
+    from .model.analytic import ModelError
+    from .model.calibrate import CalibValidationError
+
+    if args.dse_command == 'calibrate':
+        from .jobs import ResultStore, SweepEngine, any_failed, \
+            render_summary
+        kernels = (args.kernels.split(',') if args.kernels
+                   else list(C.SMOKE_KERNELS if args.smoke
+                             else C.DEFAULT_KERNELS))
+        configs = (args.configs.split(',') if args.configs
+                   else list(C.DEFAULT_CONFIGS))
+        depths = ([int(v) for v in args.depths.split(',')] if args.depths
+                  else list(C.DEFAULT_DEPTHS))
+        banks = ([int(v) for v in args.banks.split(',')] if args.banks
+                 else list(C.DEFAULT_BANKS))
+        try:
+            specs = C.calibration_specs(kernels, scale=args.scale,
+                                        configs=configs, depths=depths,
+                                        banks=banks)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(f'calibration suite: {len(kernels)} kernel(s) x '
+              f'{len(specs) // max(1, len(kernels))} config point(s) '
+              f'= {len(specs)} ground-truth job(s)')
+        store = ResultStore(args.store)
+        engine = SweepEngine(jobs=args.jobs, timeout=args.timeout,
+                             store=store, use_cache=not args.no_cache,
+                             progress=_progress)
+        outcomes = engine.execute(specs)
+        print(render_summary(outcomes, store=store))
+        if any_failed(outcomes):
+            return 1
+        suite = {'kernels': kernels, 'configs': configs,
+                 'depths': depths, 'banks': banks, 'scale': args.scale}
+        try:
+            doc = C.run_calibration(outcomes, label=args.label,
+                                    suite=suite)
+        except ModelError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(C.render_calib_report(doc))
+        out = args.out or C.calib_path(args.label)
+        C.save_calib_report(doc, out)
+        print(f'calibration report: {out} (schema-valid)')
+        if args.max_mape is not None \
+                and doc['overall']['median_ape_pct'] > args.max_mape:
+            print(f"calibration gate: FAIL — median APE "
+                  f"{doc['overall']['median_ape_pct']:.1f}% exceeds "
+                  f"{args.max_mape:g}%", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.dse_command == 'explore':
+        from .dse import (AXES_BY_NAME, DseError, dse_path,
+                          render_dse_report, run_dse, save_dse_report)
+        from .jobs import ResultStore
+        try:
+            model = _dse_load_model(args.calib)
+        except (OSError, ValueError) as exc:
+            print(f'invalid calibration report: {exc}', file=sys.stderr)
+            return 1
+        axes = AXES_BY_NAME[args.space]
+        store = ResultStore(args.store) if not args.no_simulate else None
+        try:
+            doc = run_dse(model, args.benchmark, axes=axes,
+                          scale=args.scale,
+                          simulate=not args.no_simulate,
+                          jobs=args.jobs, store=store,
+                          timeout=args.timeout,
+                          use_cache=not args.no_cache,
+                          label=args.label,
+                          progress=_progress, log=print)
+        except (DseError, ModelError, KeyError) as exc:
+            print(f'dse explore: {exc}', file=sys.stderr)
+            return 1
+        print(render_dse_report(doc))
+        out = args.out or dse_path(args.label)
+        save_dse_report(doc, out)
+        print(f'dse report: {out} (schema-valid)')
+        return 1 if doc['triage'].get('n_sim_failed', 0) else 0
+
+    if args.dse_command == 'predict':
+        try:
+            model = _dse_load_model(args.calib)
+        except (OSError, ValueError) as exc:
+            print(f'invalid calibration report: {exc}', file=sys.stderr)
+            return 1
+        from .manycore import DEFAULT_CONFIG
+        overrides = {}
+        if args.frame_counters is not None:
+            overrides['frame_counters'] = args.frame_counters
+        if args.llc_banks is not None:
+            overrides['llc_banks'] = args.llc_banks
+        if args.noc_width is not None:
+            overrides['noc_width_words'] = args.noc_width
+        if args.dram_bandwidth is not None:
+            overrides['dram_bandwidth_words_per_cycle'] = \
+                args.dram_bandwidth
+        machine = DEFAULT_CONFIG.scaled(**overrides) if overrides \
+            else None
+        try:
+            p = model.predict(args.benchmark, args.config,
+                              scale=args.scale, machine=machine)
+        except (ModelError, KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        tag = '' if p.calibrated else ' (uncalibrated priors)'
+        print(f'{p.benchmark} / {p.config} @{args.scale}{tag}')
+        print(f'  predicted cycles  {p.cycles:.1f}')
+        print(f'  predicted energy  {p.energy_pj / 1e6:.3f} uJ on-chip')
+        print(f'  tiles used        {p.tiles_used}')
+        feats = '  '.join(f'{k}={v:.1f}' for k, v in p.features.items())
+        print(f'  features          {feats}')
+        return 0
+
+    if args.dse_command == 'report':
+        import json
+        from .dse import (DSE_KIND, DseValidationError,
+                          render_dse_report, validate_dse_report)
+        try:
+            with open(args.file) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f'{args.file}: {exc}', file=sys.stderr)
+            return 1
+        try:
+            if doc.get('kind') == DSE_KIND:
+                validate_dse_report(doc)
+                print(render_dse_report(doc))
+            elif doc.get('kind') == C.CALIB_KIND:
+                C.validate_calib_report(doc)
+                print(C.render_calib_report(doc))
+            else:
+                print(f'{args.file}: unknown kind {doc.get("kind")!r} '
+                      f'(expected {DSE_KIND} or {C.CALIB_KIND})',
+                      file=sys.stderr)
+                return 1
+        except (DseValidationError, CalibValidationError) as exc:
+            print(f'{args.file}: INVALID: {exc}', file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(args.dse_command)
 
 
 def main(argv=None) -> int:
@@ -739,6 +903,95 @@ def main(argv=None) -> int:
                          '(default 0.50)')
     bsub.add_parser('list', help='show the curated suite cases')
 
+    p = sub.add_parser('dse', help='analytical fast-path: calibrate the '
+                                   'model, explore config spaces, '
+                                   'simulate only the Pareto frontier')
+    dsub = p.add_subparsers(dest='dse_command', required=True)
+
+    pd = dsub.add_parser('calibrate', help='fit model coefficients '
+                                           'against simulator ground '
+                                           'truth; write CALIB_*.json')
+    pd.add_argument('--kernels', metavar='A,B,...',
+                    help='kernels to calibrate (default: the full '
+                         'modeled suite)')
+    pd.add_argument('--smoke', action='store_true',
+                    help='small 3-kernel suite (CI mode)')
+    pd.add_argument('--scale', choices=('test', 'bench'), default='test')
+    pd.add_argument('--configs', metavar='V4,V16,...',
+                    help='vector configs in the grid (default V4,V16)')
+    pd.add_argument('--depths', metavar='4,5,8',
+                    help='frame-counter depths in the grid '
+                         '(default 4,5,8; must be >= 4)')
+    pd.add_argument('--banks', metavar='4,16',
+                    help='LLC bank counts in the grid (default 4,16)')
+    pd.add_argument('--label', default='local',
+                    help='label embedded in the artifact and its '
+                         'default filename (default local)')
+    pd.add_argument('--out', metavar='OUT.json',
+                    help='artifact path (default CALIB_<label>.json)')
+    pd.add_argument('--store', default='.repro-store', metavar='DIR',
+                    help='result store for ground truth '
+                         '(default .repro-store)')
+    pd.add_argument('--jobs', type=int, default=1, metavar='N',
+                    help='max concurrent worker processes (default 1)')
+    pd.add_argument('--timeout', type=float, default=None, metavar='SEC',
+                    help='per-job wall-clock timeout')
+    pd.add_argument('--no-cache', action='store_true',
+                    help='ignore store hits; resimulate every point')
+    pd.add_argument('--max-mape', type=float, default=None, metavar='PCT',
+                    help='error gate: exit 2 when overall median APE '
+                         'exceeds this percentage')
+
+    pd = dsub.add_parser('explore', help='triage a config space '
+                                         'analytically; simulate only '
+                                         'the Pareto frontier; write '
+                                         'DSE_*.json')
+    pd.add_argument('benchmark', help='kernel to explore')
+    pd.add_argument('--calib', metavar='CALIB.json',
+                    help='calibration artifact (omit for rough '
+                         'uncalibrated priors)')
+    pd.add_argument('--space', choices=('default', 'small'),
+                    default='default',
+                    help='axes grid: default (576 points) or small '
+                         '(8-point CI smoke)')
+    pd.add_argument('--scale', choices=('test', 'bench'), default='test')
+    pd.add_argument('--no-simulate', action='store_true',
+                    help='skip frontier re-simulation (pure triage)')
+    pd.add_argument('--label', default='local',
+                    help='label embedded in the artifact and its '
+                         'default filename (default local)')
+    pd.add_argument('--out', metavar='OUT.json',
+                    help='artifact path (default DSE_<label>.json)')
+    pd.add_argument('--store', default='.repro-store', metavar='DIR',
+                    help='result store for frontier simulations '
+                         '(default .repro-store)')
+    pd.add_argument('--jobs', type=int, default=1, metavar='N',
+                    help='max concurrent worker processes (default 1)')
+    pd.add_argument('--timeout', type=float, default=None, metavar='SEC',
+                    help='per-job wall-clock timeout')
+    pd.add_argument('--no-cache', action='store_true',
+                    help='ignore store hits; resimulate the frontier')
+
+    pd = dsub.add_parser('predict', help='predict one point in closed '
+                                         'form (no simulation)')
+    pd.add_argument('benchmark')
+    pd.add_argument('config')
+    pd.add_argument('--scale', choices=('test', 'bench'), default='test')
+    pd.add_argument('--calib', metavar='CALIB.json',
+                    help='calibration artifact (omit for rough '
+                         'uncalibrated priors)')
+    pd.add_argument('--frame-counters', type=int, default=None,
+                    metavar='N')
+    pd.add_argument('--llc-banks', type=int, default=None, metavar='N')
+    pd.add_argument('--noc-width', type=int, default=None, metavar='W',
+                    help='NoC link width in words')
+    pd.add_argument('--dram-bandwidth', type=float, default=None,
+                    metavar='WPC', help='DRAM words per cycle')
+
+    pd = dsub.add_parser('report', help='validate + render a CALIB_*/'
+                                        'DSE_* artifact')
+    pd.add_argument('file')
+
     sub.add_parser('version', help='print package version + provenance '
                                    'salts')
 
@@ -757,7 +1010,7 @@ def main(argv=None) -> int:
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
             'serve': cmd_serve, 'fleet': cmd_fleet, 'top': cmd_top,
             'report': cmd_report,
-            'compare': cmd_compare, 'bench': cmd_bench,
+            'compare': cmd_compare, 'bench': cmd_bench, 'dse': cmd_dse,
             'version': cmd_version}[args.command](args)
 
 

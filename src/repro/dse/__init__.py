@@ -1,0 +1,28 @@
+"""Design-space exploration over the analytical fast-path.
+
+`repro.dse` enumerates a fabric config space (group size, frame-counter
+depth, LLC banks, NoC width, DRAM bandwidth), triages every point with
+the calibrated closed-form model from :mod:`repro.model` — hundreds of
+points per second, no simulation — extracts the Pareto frontier over
+(cycles, energy, area), and re-simulates only the frontier through the
+content-addressed :mod:`repro.jobs` farm.  See ``docs/dse.md``.
+"""
+
+from .driver import (DSE_KIND, DSE_SCHEMA_VERSION, DseError,
+                     DseValidationError, OBJECTIVES, area_proxy,
+                     build_dse_report, dse_path, frontier_specs,
+                     load_dse_report, render_dse_report, run_dse,
+                     save_dse_report, triage_space, validate_dse_report)
+from .pareto import dominates, pareto_frontier
+from .space import (AXES_BY_NAME, DEFAULT_AXES, SMALL_AXES, DesignPoint,
+                    enumerate_space, space_size)
+
+__all__ = [
+    'DSE_KIND', 'DSE_SCHEMA_VERSION', 'DseError', 'DseValidationError',
+    'OBJECTIVES', 'area_proxy', 'build_dse_report', 'dse_path',
+    'frontier_specs', 'load_dse_report', 'render_dse_report', 'run_dse',
+    'save_dse_report', 'triage_space', 'validate_dse_report',
+    'dominates', 'pareto_frontier',
+    'AXES_BY_NAME', 'DEFAULT_AXES', 'SMALL_AXES', 'DesignPoint',
+    'enumerate_space', 'space_size',
+]

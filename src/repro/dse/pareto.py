@@ -1,0 +1,40 @@
+"""Pareto-frontier extraction over minimization objectives.
+
+Plain O(n^2) dominance filtering: the spaces we triage are hundreds of
+points, objective vectors are length 3, and a stable deterministic
+answer matters more than asymptotics here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better
+    somewhere (all objectives minimized)."""
+    if len(a) != len(b):
+        raise ValueError(f'objective vectors differ in length: '
+                         f'{len(a)} vs {len(b)}')
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_frontier(objectives: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate objective vectors are all kept (none dominates another),
+    so the frontier is stable under reordering of equal points.
+    """
+    n = len(objectives)
+    keep: List[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if j != i and dominates(objectives[j], objectives[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep

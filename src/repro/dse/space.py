@@ -1,0 +1,109 @@
+"""The design space: enumerable fabric configuration points.
+
+A :class:`DesignPoint` is one candidate fabric: a named vector config
+(group size / pack-and-coalesce choice) plus the machine knobs the
+paper's design discussion varies — frame-counter depth, LLC bank count,
+NoC link width, and DRAM pin bandwidth.  The default axes enumerate 576
+points; the analytical model triages them in well under a second, so the
+discrete simulator only ever sees the predicted Pareto frontier.
+
+Frame-counter depths below 4 are excluded by construction: the code
+generator cannot statically pace the default 2-entry inet queue with
+fewer than ``inet_queue + 2`` counters, so those points are not merely
+slow — they are uncompilable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+from ..jobs.spec import JobSpec
+from ..manycore.config import DEFAULT_CONFIG, MachineConfig
+
+#: The default exploration axes: 4 x 4 x 4 x 3 x 3 = 576 points.
+DEFAULT_AXES: Dict[str, Tuple] = {
+    'configs': ('V4', 'V16', 'V4_PCV', 'V16_PCV'),
+    'frame_counters': (4, 5, 6, 8),
+    'llc_banks': (4, 8, 16, 32),
+    'noc_width_words': (2, 4, 8),
+    'dram_bandwidth': (2.0, 4.0, 8.0),
+}
+
+#: A tiny grid for CI smoke runs: 2 x 2 x 2 x 1 x 1 = 8 points.
+SMALL_AXES: Dict[str, Tuple] = {
+    'configs': ('V4', 'V16'),
+    'frame_counters': (4, 8),
+    'llc_banks': (4, 16),
+    'noc_width_words': (4,),
+    'dram_bandwidth': (4.0,),
+}
+
+AXES_BY_NAME: Dict[str, Dict[str, Tuple]] = {
+    'default': DEFAULT_AXES,
+    'small': SMALL_AXES,
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate fabric configuration."""
+
+    config: str                 # named vector config (group size, PCV)
+    frame_counters: int
+    llc_banks: int
+    noc_width_words: int
+    dram_bandwidth: float       # words per cycle at the pins
+
+    def machine(self, base: MachineConfig = DEFAULT_CONFIG) -> MachineConfig:
+        """The machine this point describes, relative to ``base``."""
+        return base.scaled(
+            frame_counters=self.frame_counters,
+            llc_banks=self.llc_banks,
+            noc_width_words=self.noc_width_words,
+            dram_bandwidth_words_per_cycle=self.dram_bandwidth)
+
+    def spec(self, benchmark: str, scale: str = 'test',
+             base: MachineConfig = DEFAULT_CONFIG) -> JobSpec:
+        """The ground-truth job that simulates this point."""
+        return JobSpec.make(benchmark, self.config, scale=scale,
+                            machine=self.machine(base))
+
+    def label(self) -> str:
+        return (f'{self.config} fc={self.frame_counters} '
+                f'banks={self.llc_banks} noc={self.noc_width_words} '
+                f'dram={self.dram_bandwidth:g}')
+
+    def as_dict(self) -> Dict:
+        return {'config': self.config,
+                'frame_counters': self.frame_counters,
+                'llc_banks': self.llc_banks,
+                'noc_width_words': self.noc_width_words,
+                'dram_bandwidth': self.dram_bandwidth}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> 'DesignPoint':
+        return cls(config=d['config'],
+                   frame_counters=int(d['frame_counters']),
+                   llc_banks=int(d['llc_banks']),
+                   noc_width_words=int(d['noc_width_words']),
+                   dram_bandwidth=float(d['dram_bandwidth']))
+
+
+def enumerate_space(axes: Dict[str, Sequence] = DEFAULT_AXES,
+                    ) -> Iterator[DesignPoint]:
+    """Every point of the cartesian space, in deterministic order."""
+    for cfg, fc, banks, noc, dram in itertools.product(
+            axes['configs'], axes['frame_counters'], axes['llc_banks'],
+            axes['noc_width_words'], axes['dram_bandwidth']):
+        yield DesignPoint(config=cfg, frame_counters=int(fc),
+                          llc_banks=int(banks), noc_width_words=int(noc),
+                          dram_bandwidth=float(dram))
+
+
+def space_size(axes: Dict[str, Sequence] = DEFAULT_AXES) -> int:
+    n = 1
+    for vs in axes.values():
+        n *= len(vs)
+    return n

@@ -289,19 +289,36 @@ def any_failed(outcomes: Sequence[JobOutcome]) -> bool:
     return any(not o.ok for o in outcomes)
 
 
-def render_summary(outcomes: Sequence[JobOutcome]) -> str:
-    """Readable sweep wrap-up: totals plus one line per failed point."""
+def render_summary(outcomes: Sequence[JobOutcome], store=None) -> str:
+    """Readable sweep wrap-up: totals plus one line per failed point.
+
+    With ``store``, also reports how much simulation the cache saved
+    and the store's on-disk footprint.
+    """
     counts = {}
     for o in outcomes:
         counts[o.status] = counts.get(o.status, 0) + 1
-    bits = [f'{counts.get(DONE, 0)} simulated',
-            f'{counts.get(CACHED, 0)} cached']
+    done = counts.get(DONE, 0)
+    cached = counts.get(CACHED, 0)
     bad = sum(counts.get(s, 0) for s in (FAILED, TIMEOUT, CRASHED))
-    bits.append(f'{bad} failed')
-    lines = [f'sweep: {len(outcomes)} job(s) — ' + ', '.join(bits)]
+    lines = [f'sweep: {len(outcomes)} job(s) — {done} simulated, '
+             f'{cached} cached, {bad} failed']
     for o in outcomes:
         if not o.ok:
             reason = o.error.strip().splitlines()[-1] if o.error else ''
             lines.append(f'  {o.status.upper():8s} {o.spec.label()} '
                          f'(attempts={o.attempts}): {reason}')
+    if store is not None:
+        saved = (f'cache served {cached} of {len(outcomes)} job(s)'
+                 if outcomes else 'cache served 0 job(s)')
+        lines.append(f'store: {store.root} — {len(store)} result(s), '
+                     f'{_human_bytes(store.total_bytes())}; {saved}')
     return '\n'.join(lines)
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ('B', 'KiB', 'MiB', 'GiB'):
+        if n < 1024 or unit == 'GiB':
+            return f'{n:.1f} {unit}' if unit != 'B' else f'{n} B'
+        n /= 1024.0
+    return f'{n} B'

@@ -109,6 +109,16 @@ class ResultStore:
         self.hits += 1
         return doc
 
+    def total_bytes(self) -> int:
+        """On-disk footprint of every stored result, in bytes."""
+        n = 0
+        for p in self.root.glob('*.json'):
+            try:
+                n += p.stat().st_size
+            except OSError:
+                pass
+        return n
+
     def clear(self) -> int:
         """Delete every stored result; returns how many were removed."""
         n = 0

@@ -112,6 +112,9 @@ class Fabric:
         self._heap: list = []
         self._seq = 0
         self._pending_events: set = set()  # seqs of live (uncancelled) events
+        # same-cycle scratchpad delivery batches: arrival time -> list of
+        # (core, offset, values, is_frame), drained by one posted event
+        self._delivery_batches: Dict[int, list] = {}
         # tile wake-time heap: entries (time, order, entry_id, tile);
         # a tile's latest entry_id (tile._wake_entry) is the only live
         # one, so lowering next_wake just pushes a fresh entry and the
@@ -272,6 +275,32 @@ class Fabric:
                 self.job_op_done(j, at)
 
         self.post(now + delay, deliver)
+
+    def post_spad_delivery(self, time: int, core: int, offset: int,
+                           values: Sequence, is_frame: bool) -> None:
+        """Schedule a scratchpad delivery, coalescing same-cycle packets.
+
+        A wide LLC response emits one packet per NoC-width chunk, and on
+        frame-heavy kernels many packets land on the same cycle; one
+        heap event per packet is measurable host overhead.  Packets for
+        the same arrival cycle share a single posted event and drain in
+        append (= post) order, so sim-visible behaviour is unchanged:
+        the run loop fires every event due at a cycle before any tile
+        steps, deliveries are never cancelled, and the batch's event is
+        created when its first packet is posted — before the owning
+        request's ``job_op_done`` for that cycle.
+        """
+        batch = self._delivery_batches.get(time)
+        if batch is None:
+            self._delivery_batches[time] = batch = []
+
+            def fire(now, w=time):
+                for core, offset, values, is_frame in \
+                        self._delivery_batches.pop(w):
+                    self.spad_deliver(core, offset, values, is_frame)
+
+            self.post(time, fire)
+        batch.append((core, offset, values, is_frame))
 
     def spad_deliver(self, core: int, offset: int, values: Sequence,
                      is_frame: bool) -> None:

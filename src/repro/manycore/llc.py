@@ -180,10 +180,9 @@ class LLCBank:
                 delay = noc.delay_for_hops(hops)
                 arrival = emit + delay
                 self.fabric.count_hops(hops * n)
-                self.fabric.post(
-                    arrival,
-                    lambda now, c=dest_core, o=dest_off + sent, v=values, \
-                        fr=req.is_frame: self.fabric.spad_deliver(c, o, v, fr))
+                self.fabric.post_spad_delivery(
+                    arrival, dest_core, dest_off + sent, values,
+                    req.is_frame)
                 sent += n
                 if emit > last_emit:
                     last_emit = emit

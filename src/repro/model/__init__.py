@@ -1,0 +1,42 @@
+"""First-order analytical performance model of the SDV fabric.
+
+`repro.model` maps ``(kernel, config)`` to predicted cycles (and energy)
+in closed form — no simulation in the loop — so design-space exploration
+can triage hundreds of configurations per second and reserve the
+discrete simulator for the points that matter (see :mod:`repro.dse`).
+
+Structure:
+
+* :mod:`~repro.model.workload` — per-kernel operation counts derived
+  from the same template geometry the code generator uses (tiles,
+  frames, scalar-stream and microthread instruction counts, response
+  packets, memory footprint).
+* :mod:`~repro.model.analytic` — turns a workload into a feature
+  vector (compute critical path, frame-fill latency over the
+  frame-counter depth, LLC bank serialization, DRAM bandwidth roof,
+  MIMD phases, per-phase launch/barrier overhead) and dots it with
+  per-kernel coefficients.
+* :mod:`~repro.model.calibrate` — fits those coefficients against
+  discrete-simulator ground truth gathered via :mod:`repro.jobs`
+  sweeps and emits a schema-checked ``CALIB_*.json`` artifact.
+"""
+
+from .analytic import (AnalyticModel, FEATURES, ModelError,
+                       UnsupportedConfigError, InfeasiblePointError,
+                       Prediction, compute_features)
+from .calibrate import (CALIB_KIND, CALIB_SCHEMA_VERSION, calib_path,
+                        calibration_specs, fit_coefficients, run_calibration,
+                        build_calib_report, validate_calib_report,
+                        save_calib_report, load_calib_report,
+                        render_calib_report, DEFAULT_KERNELS)
+from .workload import MODELED_KERNELS, build_workload, Workload
+
+__all__ = [
+    'AnalyticModel', 'FEATURES', 'ModelError', 'UnsupportedConfigError',
+    'InfeasiblePointError', 'Prediction', 'compute_features',
+    'CALIB_KIND', 'CALIB_SCHEMA_VERSION', 'calib_path', 'calibration_specs',
+    'fit_coefficients', 'run_calibration', 'build_calib_report',
+    'validate_calib_report', 'save_calib_report', 'load_calib_report',
+    'render_calib_report', 'DEFAULT_KERNELS',
+    'MODELED_KERNELS', 'build_workload', 'Workload',
+]

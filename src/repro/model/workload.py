@@ -1,0 +1,380 @@
+"""Closed-form per-kernel workload descriptions.
+
+Each modeled benchmark gets a builder that mirrors the *geometry* of its
+vector-template code generation (:mod:`repro.kernels.vector_templates`)
+without assembling a program or touching a fabric: how many tiles the
+work divides into, how many DAE frames each tile consumes, how many
+scalar-stream and microthread instructions one frame costs, and how many
+response packets the LLC must emit to fill it.  The builders reuse the
+benchmarks' own FLEN-selection methods (``fitted_flen`` /
+``matvec_flen`` / ``flen_for``, which read only ``fabric.cfg``) through
+a config shim, so the modeled frame shapes match what the code generator
+would actually emit for the same machine.
+
+Counts here are first-order estimates: exact for the structural
+quantities (tiles, frames, frame words, packets) and approximate for
+instruction counts (the calibration fit in
+:mod:`repro.model.calibrate` absorbs per-kernel CPI and constant
+factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..manycore.config import MachineConfig
+
+
+class WorkloadError(ValueError):
+    """The kernel/config/machine combination cannot be code-generated."""
+
+
+class _CfgView:
+    """Duck-types the one attribute the flen helpers read (``.cfg``)."""
+
+    def __init__(self, cfg: MachineConfig):
+        self.cfg = cfg
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _span_vloads(lanes: int, flen: int, line_words: int,
+                 unaligned: bool = False) -> int:
+    """vload instructions for one full ``flen * lanes`` GROUP span.
+
+    Mirrors ``_emit_group_span``: a single GROUP vload covers at most one
+    cache line, so wide spans split into several stepped vloads;
+    unaligned sections use the prefix/suffix instruction pair.
+    """
+    lanes_per_load = max(1, min(lanes, line_words // max(1, flen)))
+    splits = _ceil_div(lanes, lanes_per_load)
+    return splits * (2 if unaligned else 1)
+
+
+@dataclass(frozen=True)
+class VectorPhase:
+    """One vector phase (group formation -> scalar stream -> barrier)."""
+
+    name: str
+    tiles: int                 # total units of group work across the machine
+    frames_per_tile: int
+    frame_words: int           # per-lane frame footprint in words
+    flen: int
+    pcv: bool
+    scalar_per_frame: int      # scalar-stream instrs per frame
+    scalar_per_tile: int       # scalar instrs per tile outside the DAE loop
+    mt_per_frame: int          # per-lane microthread instrs per frame
+    mt_per_tile: int           # per-lane init/fini instrs per tile
+    flops_per_frame: int       # per-lane FMA-class ops per frame
+    packets_per_frame: int     # LLC response packets to fill one frame
+    store_words_per_tile: int  # LLC words stored per tile (whole group)
+    load_words_per_tile: int = 0  # extra scalar LLC load words per tile
+
+
+@dataclass(frozen=True)
+class MimdPhase:
+    """One SPMD phase (reductions, transposes, boundary fix-ups)."""
+
+    name: str
+    items: int            # work items, strided across all cores
+    instrs_per_item: int
+    loads_per_item: int   # LLC word loads per item
+    stores_per_item: int
+
+
+@dataclass(frozen=True)
+class Workload:
+    """The closed-form description of one (kernel, params, machine) run."""
+
+    benchmark: str
+    lanes: int
+    pcv: bool
+    phases: Tuple = ()
+    repeat: int = 1            # outer time loop (fdtd-2d's tmax)
+    footprint_words: int = 0   # unique memory words touched
+
+    @property
+    def vector_phases(self) -> List[VectorPhase]:
+        return [p for p in self.phases if isinstance(p, VectorPhase)]
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases) * self.repeat
+
+
+# ------------------------------------------------------------ phase builders
+def _matmul_phase(name: str, *, ni: int, nj: int, nk: int, nterms: int,
+                  kb: int, flen: int, pcv: bool, lanes: int,
+                  cfg: MachineConfig, alpha: float = 1.0,
+                  beta: float = 0.0) -> VectorPhase:
+    w = flen * lanes
+    if nj % w or nk % kb:
+        raise WorkloadError(f'{name}: nj={nj} % {w} or nk={nk} % {kb} != 0')
+    njc = nj // w
+    tiles = ni * njc
+    frames_per_tile = nk // kb
+    frame_words = nterms * kb * flen + nterms * kb
+    sw = cfg.simd_width
+    line = cfg.line_words
+    noc = cfg.noc_width_words
+
+    span = _span_vloads(lanes, flen, line)
+    scalar_per_frame = (nterms * kb * (span + 2)       # group spans + advance
+                        + nterms * (1 + lanes)         # SINGLE broadcasts
+                        + nterms + 5)                  # advance + slot + loop
+    if pcv:
+        nv = max(1, flen // sw)
+        mt_per_frame = 3 + kb * nterms * (2 + 3 * nv)
+        flops_per_frame = kb * nterms * nv
+        mt_per_tile = 2 * nv + nv * 4 + flen * 3 + 16
+    else:
+        ka = max(1, 4 // max(1, flen))
+        mt_per_frame = 3 + kb * nterms * (1 + 2 * flen)
+        flops_per_frame = kb * nterms * flen
+        mt_per_tile = (2 * flen * ka + flen * (ka - 1)
+                       + flen * (2 + (3 if beta else 0)
+                                 + (1 if alpha != 1.0 else 0)) + 14)
+    scalar_per_tile = 6 + 4 * nterms
+    # every GROUP span delivers flen words to each of `lanes` lanes; each
+    # lane chunk ships in ceil(flen/noc) packets.  SINGLE broadcasts ship
+    # kb words to one lane per vload.
+    packets_per_frame = (nterms * kb * lanes * _ceil_div(flen, noc)
+                         + nterms * lanes * _ceil_div(kb, noc))
+    store_words_per_tile = w + (w if beta else 0)
+    return VectorPhase(
+        name=name, tiles=tiles, frames_per_tile=frames_per_tile,
+        frame_words=frame_words, flen=flen, pcv=pcv,
+        scalar_per_frame=scalar_per_frame, scalar_per_tile=scalar_per_tile,
+        mt_per_frame=mt_per_frame, mt_per_tile=mt_per_tile,
+        flops_per_frame=flops_per_frame, packets_per_frame=packets_per_frame,
+        store_words_per_tile=store_words_per_tile)
+
+
+def _rowdot_phase(name: str, *, nrows: int, ncols: int, nterms: int,
+                  flen: int, pcv: bool, lanes: int,
+                  cfg: MachineConfig) -> VectorPhase:
+    sw = cfg.simd_width
+    if pcv and flen % sw:
+        pcv = False            # template falls back to scalar lane bodies
+    w = flen * lanes
+    if ncols % w:
+        raise WorkloadError(f'{name}: ncols={ncols} not a multiple of {w}')
+    frames_per_row = ncols // w
+    frame_words = (nterms + 1) * flen
+    noc = cfg.noc_width_words
+    span = _span_vloads(lanes, flen, cfg.line_words)
+    scalar_per_frame = (nterms + 1) * (span + 2) + (nterms + 1) + 5
+    if pcv:
+        nv = max(1, flen // sw)
+        mt_per_frame = 3 + nv * (2 + 3 * nterms)
+        flops_per_frame = nv * nterms
+    else:
+        mt_per_frame = 3 + 1 + flen * (1 + 2 * nterms)
+        flops_per_frame = flen * nterms
+    mt_per_tile = 2 * nterms * 4 + nterms * 6 + 8
+    scalar_per_tile = 8 + 3 * nterms
+    packets_per_frame = (nterms + 1) * lanes * _ceil_div(flen, noc)
+    return VectorPhase(
+        name=name, tiles=nrows, frames_per_tile=frames_per_row,
+        frame_words=frame_words, flen=flen, pcv=pcv,
+        scalar_per_frame=scalar_per_frame, scalar_per_tile=scalar_per_tile,
+        mt_per_frame=mt_per_frame, mt_per_tile=mt_per_tile,
+        flops_per_frame=flops_per_frame, packets_per_frame=packets_per_frame,
+        store_words_per_tile=nterms * lanes)   # per-lane partial stores
+
+
+def _stencil_phase(name: str, *, n_out_rows: int, ncols: int,
+                   n_aligned: int, n_unaligned: int, has_old: bool,
+                   flen: int, lanes: int, cfg: MachineConfig) -> VectorPhase:
+    nsec = n_aligned + n_unaligned
+    nsec_frame = nsec + (1 if has_old else 0)
+    # mirror the template's span shrink to fit the counter window
+    while flen > 1 and nsec_frame * flen * cfg.frame_counters > cfg.spad_words:
+        flen //= 2
+    w = flen * lanes
+    if ncols % w:
+        raise WorkloadError(f'{name}: ncols={ncols} not a multiple of {w}')
+    njc = ncols // w
+    tiles = n_out_rows * njc
+    frame_words = nsec_frame * flen
+    noc = cfg.noc_width_words
+    line = cfg.line_words
+    spans = (n_aligned + (1 if has_old else 0)) \
+        * (_span_vloads(lanes, flen, line) + 6) \
+        + n_unaligned * (_span_vloads(lanes, flen, line, unaligned=True) + 6)
+    scalar_per_tile = spans + 2 + 1 + 10   # slot advance + vissue + walk
+    nacc = min(3, nsec)
+    mt_per_tile = (3 + flen * (2 * nacc + 1 + 2 * nsec + (nacc - 1)
+                               + (3 if has_old else 0) + 4 + 1) + 12)
+    flops = flen * (nsec + (1 if has_old else 0))
+    packets = ((n_aligned + (1 if has_old else 0))
+               * lanes * _ceil_div(flen, noc)
+               + n_unaligned * lanes * 2 * _ceil_div(flen, noc))
+    return VectorPhase(
+        name=name, tiles=tiles, frames_per_tile=1, frame_words=frame_words,
+        flen=flen, pcv=False,
+        scalar_per_frame=0, scalar_per_tile=scalar_per_tile,
+        mt_per_frame=0, mt_per_tile=mt_per_tile,
+        flops_per_frame=flops, packets_per_frame=packets,
+        store_words_per_tile=w)
+
+
+def _reduce_phase(nrows: int, nterms: int, lanes: int,
+                  accumulate: bool = False) -> MimdPhase:
+    return MimdPhase(
+        name='reduce', items=nrows,
+        instrs_per_item=nterms * (2 * lanes + 4) + 10,
+        loads_per_item=nterms * lanes + (1 if accumulate else 0),
+        stores_per_item=1)
+
+
+# ------------------------------------------------------------ kernel models
+def _wl_gemm(bench, params, cfg, lanes, pcv) -> Workload:
+    ni, nj, nk = params['ni'], params['nj'], params['nk']
+    shim = _CfgView(cfg)
+    flen, use_pcv = bench.fitted_flen(shim, lanes, pcv, nj, ni=ni)
+    phase = _matmul_phase('gemm', ni=ni, nj=nj, nk=nk, nterms=1,
+                          kb=min(4, nk), flen=flen, pcv=use_pcv,
+                          lanes=lanes, cfg=cfg, alpha=1.5, beta=1.2)
+    return Workload('gemm', lanes, pcv, phases=(phase,),
+                    footprint_words=ni * nk + nk * nj + 2 * ni * nj)
+
+
+def _wl_matvec(name, params, bench, cfg, lanes, pcv, order) -> Workload:
+    """Shared shape of mvt / atax / bicg: rowdot + reduce + matmul(ni=1)."""
+    n = params['n']
+    shim = _CfgView(cfg)
+    rflen = bench.matvec_flen(shim, lanes, pcv, n)
+    mflen, mpcv = bench.fitted_flen(shim, lanes, pcv, n, ni=1)
+    rowdot = _rowdot_phase(f'{name}_r', nrows=n, ncols=n, nterms=1,
+                           flen=rflen, pcv=pcv, lanes=lanes, cfg=cfg)
+    reduce_ = _reduce_phase(n, 1, lanes, accumulate=(name == 'mvt'))
+    matmul = _matmul_phase(f'{name}_m', ni=1, nj=n, nk=n, nterms=1,
+                           kb=min(4, n), flen=mflen, pcv=mpcv, lanes=lanes,
+                           cfg=cfg, beta=(1.0 if name == 'mvt' else 0.0))
+    by_key = {'r': rowdot, 'd': reduce_, 'm': matmul}
+    return Workload(name, lanes, pcv,
+                    phases=tuple(by_key[k] for k in order),
+                    footprint_words=n * n + 6 * n + n * lanes)
+
+
+def _wl_mvt(bench, params, cfg, lanes, pcv):
+    return _wl_matvec('mvt', params, bench, cfg, lanes, pcv, 'rdm')
+
+
+def _wl_atax(bench, params, cfg, lanes, pcv):
+    return _wl_matvec('atax', params, bench, cfg, lanes, pcv, 'rdm')
+
+
+def _wl_bicg(bench, params, cfg, lanes, pcv):
+    return _wl_matvec('bicg', params, bench, cfg, lanes, pcv, 'mrd')
+
+
+def _wl_gesummv(bench, params, cfg, lanes, pcv) -> Workload:
+    n = params['n']
+    shim = _CfgView(cfg)
+    flen = bench.matvec_flen(shim, lanes, pcv, n)
+    rowdot = _rowdot_phase('gesummv', nrows=n, ncols=n, nterms=2,
+                           flen=flen, pcv=pcv, lanes=lanes, cfg=cfg)
+    reduce_ = _reduce_phase(n, 2, lanes)
+    return Workload('gesummv', lanes, pcv, phases=(rowdot, reduce_),
+                    footprint_words=2 * n * n + 4 * n + 2 * n * lanes)
+
+
+def _wl_syrk(bench, params, cfg, lanes, pcv) -> Workload:
+    n, m = params['n'], params['m']
+    shim = _CfgView(cfg)
+    flen, use_pcv = bench.fitted_flen(shim, lanes, pcv, n, ni=n)
+    transpose = MimdPhase('transpose', items=n * m, instrs_per_item=8,
+                          loads_per_item=1, stores_per_item=1)
+    matmul = _matmul_phase('syrk', ni=n, nj=n, nk=m, nterms=1,
+                           kb=min(4, m), flen=flen, pcv=use_pcv,
+                           lanes=lanes, cfg=cfg, alpha=1.5, beta=1.2)
+    return Workload('syrk', lanes, pcv, phases=(transpose, matmul),
+                    footprint_words=3 * n * m + 2 * n * n)
+
+
+def _wl_syr2k(bench, params, cfg, lanes, pcv) -> Workload:
+    n, m = params['n'], params['m']
+    shim = _CfgView(cfg)
+    flen, use_pcv = bench.fitted_flen(shim, lanes, pcv, n, ni=n)
+    transposes = tuple(
+        MimdPhase(f'transpose{i}', items=n * m, instrs_per_item=8,
+                  loads_per_item=1, stores_per_item=1) for i in range(2))
+    matmul = _matmul_phase('syr2k', ni=n, nj=n, nk=m, nterms=2,
+                           kb=min(4, m), flen=flen, pcv=use_pcv,
+                           lanes=lanes, cfg=cfg, alpha=1.5, beta=1.2)
+    return Workload('syr2k', lanes, pcv, phases=transposes + (matmul,),
+                    footprint_words=6 * n * m + 2 * n * n)
+
+
+def _wl_conv2d(bench, params, cfg, lanes, pcv) -> Workload:
+    n, m = params['n'], params['m']
+    shim = _CfgView(cfg)
+    flen, _ = bench.fitted_flen(shim, lanes, pcv, m, ni=n - 2, cap=4)
+    # 3x3 taps: the dj == 0 column (3 sections) is aligned, 6 are shifted
+    phase = _stencil_phase('conv2d', n_out_rows=n - 2, ncols=m,
+                           n_aligned=3, n_unaligned=6, has_old=False,
+                           flen=flen, lanes=lanes, cfg=cfg)
+    return Workload('2dconv', lanes, pcv, phases=(phase,),
+                    footprint_words=2 * n * m)
+
+
+def _wl_fdtd2d(bench, params, cfg, lanes, pcv) -> Workload:
+    n, m, tmax = params['n'], params['m'], params['tmax']
+    shim = _CfgView(cfg)
+    flen, _ = bench.fitted_flen(shim, lanes, pcv, m, ni=n, cap=4)
+    fict = MimdPhase('fict', items=m, instrs_per_item=6,
+                     loads_per_item=1, stores_per_item=1)
+    ey = _stencil_phase('fdtd_ey', n_out_rows=n - 1, ncols=m,
+                        n_aligned=2, n_unaligned=0, has_old=True,
+                        flen=flen, lanes=lanes, cfg=cfg)
+    ex = _stencil_phase('fdtd_ex', n_out_rows=n, ncols=m,
+                        n_aligned=1, n_unaligned=1, has_old=True,
+                        flen=flen, lanes=lanes, cfg=cfg)
+    hz = _stencil_phase('fdtd_hz', n_out_rows=n - 1, ncols=m,
+                        n_aligned=3, n_unaligned=1, has_old=True,
+                        flen=flen, lanes=lanes, cfg=cfg)
+    return Workload('fdtd-2d', lanes, pcv, phases=(fict, ey, ex, hz),
+                    repeat=tmax, footprint_words=3 * n * m + m + tmax)
+
+
+_BUILDERS: Dict[str, Callable] = {
+    'gemm': _wl_gemm,
+    'mvt': _wl_mvt,
+    'atax': _wl_atax,
+    'bicg': _wl_bicg,
+    'gesummv': _wl_gesummv,
+    'syrk': _wl_syrk,
+    'syr2k': _wl_syr2k,
+    '2dconv': _wl_conv2d,
+    'fdtd-2d': _wl_fdtd2d,
+}
+
+#: Benchmarks the analytical model covers: the matvec family (mvt, atax,
+#: bicg, gesummv), the matmul family (gemm, syrk, syr2k) and the stencil
+#: family (2dconv, fdtd-2d).
+MODELED_KERNELS: Tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def build_workload(bench_name: str, params: Dict[str, int],
+                   cfg: MachineConfig, lanes: int, pcv: bool) -> Workload:
+    """Closed-form workload for one (kernel, params, machine, group shape).
+
+    Raises :class:`WorkloadError` for un-modeled benchmarks or infeasible
+    geometry (the same combinations the code generator would reject).
+    """
+    builder = _BUILDERS.get(bench_name)
+    if builder is None:
+        raise WorkloadError(
+            f'benchmark {bench_name!r} is not analytically modeled '
+            f'(modeled: {", ".join(MODELED_KERNELS)})')
+    from ..kernels import registry
+    bench = registry.make(bench_name)
+    try:
+        return builder(bench, params, cfg, lanes, pcv)
+    except ValueError as e:
+        raise WorkloadError(str(e))

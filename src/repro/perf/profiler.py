@@ -335,7 +335,12 @@ class HostProfiler:
             elif mod.endswith('manycore.dram'):
                 comp = 'dram'
             elif mod.endswith('manycore.fabric'):
-                comp = 'inet' if 'spad_deliver' in names else 'barrier'
+                if '_delivery_batches' in names:
+                    comp = 'frames'  # coalesced LLC packet batches
+                elif 'spad_deliver' in names:
+                    comp = 'inet'
+                else:
+                    comp = 'barrier'
             elif '.serve' in mod:
                 comp = 'serve'
             else:

@@ -1,0 +1,120 @@
+"""`repro dse` exit-code contracts and artifact flow (see docs/cli.md).
+
+* 0 — success / gate passed
+* 1 — invalid input (unknown kernel, non-vector config, bad artifact),
+      infeasible point, or a failed ground-truth job
+* 2 — calibration error gate (`--max-mape`) exceeded
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestPredict:
+    def test_predict_is_zero(self, capsys):
+        assert main(['dse', 'predict', 'gemm', 'V4']) == 0
+        out = capsys.readouterr().out
+        assert 'predicted cycles' in out
+
+    def test_unknown_benchmark_is_one(self, capsys):
+        assert main(['dse', 'predict', 'nope', 'V4']) == 1
+        capsys.readouterr()
+
+    def test_non_vector_config_is_one(self, capsys):
+        assert main(['dse', 'predict', 'gemm', 'NV']) == 1
+        capsys.readouterr()
+
+    def test_infeasible_point_is_one(self, capsys):
+        assert main(['dse', 'predict', 'gemm', 'V4',
+                     '--frame-counters', '3']) == 1
+        capsys.readouterr()
+
+
+@pytest.fixture(scope='module')
+def calib(tmp_path_factory):
+    """One real (tiny) calibration produced through the CLI itself."""
+    d = tmp_path_factory.mktemp('dse')
+    out = d / 'CALIB_t.json'
+    code = main(['dse', 'calibrate', '--kernels', 'gemm',
+                 '--configs', 'V4', '--depths', '4,5', '--banks', '4',
+                 '--store', str(d / 'store'), '--label', 't',
+                 '--out', str(out)])
+    assert code == 0
+    return d, out
+
+
+class TestCalibrate:
+    def test_artifact_is_schema_valid(self, calib, capsys):
+        _, out = calib
+        doc = json.load(open(out))
+        assert doc['kind'] == 'repro-calib-report'
+        assert main(['dse', 'report', str(out)]) == 0
+        capsys.readouterr()
+
+    def test_cached_rerun_meets_gate(self, calib, capsys):
+        # same store: every ground-truth job is a cache hit, and the
+        # tiny suite fits itself well inside any sane error gate
+        d, out = calib
+        assert main(['dse', 'calibrate', '--kernels', 'gemm',
+                     '--configs', 'V4', '--depths', '4,5',
+                     '--banks', '4', '--store', str(d / 'store'),
+                     '--label', 't', '--out', str(out),
+                     '--max-mape', '20']) == 0
+        assert 'cached' in capsys.readouterr().out
+
+    def test_impossible_gate_is_two(self, calib, capsys):
+        d, out = calib
+        assert main(['dse', 'calibrate', '--kernels', 'gemm',
+                     '--configs', 'V4', '--depths', '4,5',
+                     '--banks', '4', '--store', str(d / 'store'),
+                     '--label', 't', '--out', str(out),
+                     '--max-mape', '-1']) == 2
+        capsys.readouterr()
+
+    def test_non_vector_config_is_one(self, tmp_path, capsys):
+        assert main(['dse', 'calibrate', '--kernels', 'gemm',
+                     '--configs', 'NV',
+                     '--store', str(tmp_path / 's')]) == 1
+        capsys.readouterr()
+
+
+class TestExplore:
+    def test_triage_only_and_report(self, calib, tmp_path, capsys):
+        _, calib_out = calib
+        out = tmp_path / 'DSE_t.json'
+        assert main(['dse', 'explore', 'gemm', '--calib', str(calib_out),
+                     '--space', 'small', '--no-simulate',
+                     '--label', 't', '--out', str(out)]) == 0
+        doc = json.load(open(out))
+        assert doc['kind'] == 'repro-dse-report'
+        assert doc['calibration']['calibrated'] is True
+        assert main(['dse', 'report', str(out)]) == 0
+        capsys.readouterr()
+
+    def test_unknown_benchmark_is_one(self, tmp_path, capsys):
+        assert main(['dse', 'explore', 'nope', '--space', 'small',
+                     '--no-simulate',
+                     '--out', str(tmp_path / 'x.json')]) == 1
+        capsys.readouterr()
+
+    def test_invalid_calibration_is_one(self, tmp_path, capsys):
+        bad = tmp_path / 'bad.json'
+        bad.write_text('{"kind": "wrong"}')
+        assert main(['dse', 'explore', 'gemm', '--calib', str(bad),
+                     '--space', 'small', '--no-simulate',
+                     '--out', str(tmp_path / 'x.json')]) == 1
+        capsys.readouterr()
+
+
+class TestReport:
+    def test_unreadable_or_unknown_kind_is_one(self, tmp_path, capsys):
+        bad = tmp_path / 'bad.json'
+        bad.write_text('not json')
+        assert main(['dse', 'report', str(bad)]) == 1
+        other = tmp_path / 'other.json'
+        other.write_text('{"kind": "something-else"}')
+        assert main(['dse', 'report', str(other)]) == 1
+        capsys.readouterr()

@@ -234,3 +234,25 @@ class TestManifestResume:
                             spec_mod.CODE_VERSION + 1)
         reloaded = SweepManifest.load(mpath)
         assert len(reloaded.pending()) == 3  # old keys unaddressable
+
+
+class TestSweepSummary:
+    def test_store_footprint_in_summary(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = SweepEngine(jobs=2, job_fn=_fake, store=store)
+        outcomes = engine.execute(SPECS)
+        assert store.total_bytes() > 0
+        summary = render_summary(outcomes, store=store)
+        assert '3 simulated, 0 cached, 0 failed' in summary
+        assert 'cache served 0 of 3 job(s)' in summary
+        assert f'{len(store)} result(s)' in summary
+        # second run: everything cached, bytes unchanged
+        engine2 = SweepEngine(jobs=2, job_fn=_fake, store=store)
+        outcomes2 = engine2.execute(SPECS)
+        assert engine2.launched == 0
+        summary2 = render_summary(outcomes2, store=store)
+        assert '0 simulated, 3 cached, 0 failed' in summary2
+        assert 'cache served 3 of 3 job(s)' in summary2
+
+    def test_total_bytes_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / 'fresh').total_bytes() == 0

@@ -1,0 +1,124 @@
+"""Calibration: deterministic fitting, artifact schema, real ground truth."""
+
+import json
+
+import pytest
+
+from repro.jobs.engine import DONE, JobOutcome, run_job
+from repro.model import AnalyticModel, FEATURES
+from repro.model.analytic import ModelError
+from repro.model.calibrate import (CalibValidationError, calib_path,
+                                   calibration_specs, fit_coefficients,
+                                   load_calib_report, run_calibration,
+                                   save_calib_report, validate_calib_report)
+
+
+class TestFit:
+    def test_recovers_known_coefficients(self):
+        X = [[1, 0, 2], [0, 1, 1], [2, 1, 0], [1, 1, 1], [3, 0, 1]]
+        true = [5.0, 2.0, 7.0]
+        y = [sum(c * v for c, v in zip(true, row)) for row in X]
+        fit = fit_coefficients(X, y)
+        assert fit == pytest.approx(true)
+
+    def test_never_returns_negative_coefficients(self):
+        # plain least squares would go negative on feature 1 here
+        X = [[1, 1], [2, 2.1], [3, 3.2], [4, 4.1]]
+        y = [1.0, 2.0, 3.0, 4.0]
+        fit = fit_coefficients(X, y)
+        assert all(c >= 0 for c in fit)
+
+    def test_deterministic(self):
+        X = [[1, 2, 3], [4, 5, 6], [7, 8, 10], [2, 1, 5]]
+        y = [10.0, 20.0, 31.0, 14.0]
+        assert fit_coefficients(X, y) == fit_coefficients(X, y)
+
+
+class _StubResult:
+    """Ground truth without a simulator: a bare cycle count."""
+
+    def __init__(self, cycles):
+        self.cycles = cycles
+
+
+def _stub_outcomes():
+    specs = calibration_specs(kernels=('gemm',), scale='test')
+    outs = []
+    for i, s in enumerate(specs):
+        outs.append(JobOutcome(s, s.key(), DONE,
+                               _StubResult(1000 + 17 * i)))
+    return outs
+
+
+class TestCalibrationDeterminism:
+    def test_same_sweep_is_bit_identical_modulo_provenance(self):
+        doc_a = run_calibration(_stub_outcomes(), label='det')
+        doc_b = run_calibration(_stub_outcomes(), label='det')
+        for d in (doc_a, doc_b):
+            d.pop('generated')  # timestamped; everything else is pinned
+        assert json.dumps(doc_a, sort_keys=True) == \
+            json.dumps(doc_b, sort_keys=True)
+
+    def test_failed_outcome_refuses_to_fit(self):
+        outs = _stub_outcomes()
+        outs[0] = JobOutcome(outs[0].spec, outs[0].key, 'failed', None,
+                             error='boom')
+        with pytest.raises(ModelError):
+            run_calibration(outs)
+
+
+class TestCalibrationArtifact:
+    @pytest.fixture(scope='class')
+    def doc(self):
+        return run_calibration(_stub_outcomes(), label='artifact')
+
+    def test_schema_valid_and_complete(self, doc):
+        validate_calib_report(doc)
+        assert set(doc['coefficients']['gemm']) == set(FEATURES)
+        assert doc['overall']['n_points'] == len(doc['points'])
+
+    def test_save_load_roundtrip(self, doc, tmp_path):
+        path = calib_path('artifact', str(tmp_path))
+        assert path.endswith('CALIB_artifact.json')
+        save_calib_report(doc, path)
+        assert load_calib_report(path) == doc
+
+    def test_tampered_doc_is_rejected(self, doc):
+        bad = json.loads(json.dumps(doc))
+        del bad['coefficients']['gemm']['fill']
+        with pytest.raises(CalibValidationError):
+            validate_calib_report(bad)
+        bad = json.loads(json.dumps(doc))
+        bad['kind'] = 'not-a-calibration'
+        with pytest.raises(CalibValidationError):
+            validate_calib_report(bad)
+
+    def test_model_builds_only_from_valid_doc(self, doc):
+        model = AnalyticModel.from_calibration(doc)
+        assert model.calibrated
+        p = model.predict('gemm', 'V4', scale='test')
+        assert p.calibrated and p.cycles > 0
+        # a kernel outside the calibration falls back to priors
+        q = model.predict('mvt', 'V4', scale='test')
+        assert not q.calibrated
+
+    def test_rejects_non_vector_config_in_suite(self):
+        with pytest.raises(ValueError):
+            calibration_specs(configs=('NV',))
+
+
+class TestRealCalibration:
+    def test_small_real_suite_meets_error_budget(self):
+        # 6 real simulations: 2 depths x 2 banks + noc + dram excursions
+        specs = calibration_specs(kernels=('gemm',), scale='test',
+                                  configs=('V4',), depths=(4, 5),
+                                  banks=(4, 16), nocs=(2,), drams=(2.0,))
+        assert len(specs) == 6
+        outcomes = [JobOutcome(s, s.key(), DONE, run_job(s))
+                    for s in specs]
+        doc = run_calibration(outcomes, label='real')
+        validate_calib_report(doc)
+        # the acceptance bar is 20% median APE; a single-kernel fit
+        # should be far inside it
+        assert doc['overall']['median_ape_pct'] <= 20.0
+        assert doc['energy_scale']['gemm'] > 0
