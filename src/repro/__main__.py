@@ -315,17 +315,48 @@ def cmd_fleet(args):
             mean_interarrival=args.mean_interarrival,
             timeout=args.timeout)
         seed, pattern = args.seed, args.pattern
+    flight = None
+    if args.flight or args.shard_metrics_dir:
+        import os
+        from .flight import FleetFlight
+        out_dir = args.flight or '.'
+        os.makedirs(out_dir, exist_ok=True)
+        if args.shard_metrics_dir:
+            os.makedirs(args.shard_metrics_dir, exist_ok=True)
+        flight = FleetFlight(
+            label=args.flight_label, out_dir=out_dir,
+            ring_capacity=args.flight_ring,
+            shard_metrics_dir=args.shard_metrics_dir,
+            snapshot_interval=args.snapshot_interval)
     cfg = FleetConfig(
         shards=args.shards, epoch_cycles=args.epoch_cycles,
         shard_queue_cap=args.shard_queue_cap, max_queue=args.max_queue,
         affinity=not args.no_affinity, verify=not args.no_verify,
         workers=args.workers, timeout=args.worker_timeout,
         crashes=tuple(crashes))
-    router = FleetRouter(cfg, autoscaler=autoscaler)
+    router = FleetRouter(cfg, autoscaler=autoscaler, flight=flight)
     result = router.run(iter(trace))
     doc = build_fleet_report(result, pattern=pattern, seed=seed,
                              slo=slo_policy)
     print(render_fleet_report(doc))
+    if flight is not None:
+        slo_doc = doc.get('slo')
+        if slo_doc:
+            flight.on_slo(slo_doc['status'], result.final_cycle,
+                          detail='fleet-summary SLO evaluation')
+            if slo_doc['status'] == 'fail':
+                broken = ', '.join(
+                    r['metric'] for r in slo_doc.get('rules', ())
+                    if r.get('status') == 'fail')
+                flight.dump_postmortem(
+                    'slo_fail', f'SLO failed on: {broken or "?"}',
+                    result.final_cycle)
+        journal = flight.write_journal()
+        print(f'flight journal: {journal} '
+              f'({len(flight.spans)} spans, '
+              f'{len(flight.detector.anomalies)} anomalies)')
+        for pm in flight.postmortems:
+            print(f'post-mortem [{pm["trigger"]}]: {pm["path"]}')
     if args.metrics_out:
         with open(args.metrics_out, 'w') as f:
             for row in result.epoch_log:
@@ -352,8 +383,17 @@ def cmd_fleet(args):
 
 
 def cmd_top(args):
-    from .observe.top import run_top
+    from .observe.top import run_fleet_top, run_top
     from .serve import FAILED, generate_trace, load_trace
+    if args.fleet:
+        import os
+        if not os.path.isdir(args.fleet):
+            print(f'{args.fleet}: not a directory', file=sys.stderr)
+            return 2
+        frames = run_fleet_top(args.fleet, follow=args.follow,
+                               interval=args.interval)
+        print(f'rendered {frames} fleet frame(s) from {args.fleet}')
+        return 0
     if args.trace_file:
         requests = load_trace(args.trace_file)
     else:
@@ -368,6 +408,82 @@ def cmd_top(args):
           f'{result.makespan} cycles over {result.dashboard.frames} '
           f'dashboard frame(s): {counts}')
     return 1 if counts.get(FAILED, 0) else 0
+
+
+def cmd_trace(args):
+    from .flight import (JournalError, check_continuity, read_journal,
+                         render_tree, write_merged_trace)
+    if args.trace_command == 'merge':
+        spans, anomalies = [], []
+        label = 'fleet'
+        for path in args.journals:
+            try:
+                header, s, a = read_journal(path)
+            except (OSError, JournalError) as exc:
+                print(f'INVALID journal: {exc}', file=sys.stderr)
+                return 1
+            label = header.get('label', label)
+            spans.extend(s)
+            anomalies.extend(a)
+        doc = write_merged_trace(args.out, spans, anomalies, label)
+        traces = {s['trace_id'] for s in spans}
+        print(f'merged trace: {args.out} '
+              f'({len(doc["traceEvents"])} events, {len(traces)} '
+              f'trace(s) from {len(args.journals)} journal(s))')
+        return 0
+    try:
+        header, spans, anomalies = read_journal(args.journal)
+    except (OSError, JournalError) as exc:
+        print(f'INVALID journal: {exc}', file=sys.stderr)
+        return 1
+    if args.trace_command == 'export':
+        subset = [s for s in spans if s['trace_id'] == args.trace_id]
+        if not subset:
+            print(f'{args.journal}: no spans for trace_id '
+                  f'{args.trace_id!r}', file=sys.stderr)
+            return 1
+        doc = write_merged_trace(args.out, subset, [],
+                                 header.get('label', 'fleet'))
+        print(f'exported trace {args.trace_id}: {args.out} '
+              f'({len(doc["traceEvents"])} events)')
+        return 0
+    # inspect
+    if args.trace_id is not None:
+        spans = [s for s in spans if s['trace_id'] == args.trace_id]
+        if not spans:
+            print(f'{args.journal}: no spans for trace_id '
+                  f'{args.trace_id!r}', file=sys.stderr)
+            return 1
+    verdicts = check_continuity(spans)
+    for tid in sorted(verdicts):
+        print(render_tree(spans, tid))
+    broken = [v for v in verdicts.values() if not v['continuous']]
+    print(f'{len(verdicts)} trace(s), '
+          f'{len(verdicts) - len(broken)} continuous, '
+          f'{len(broken)} broken; {len(anomalies)} anomaly event(s)')
+    for v in broken:
+        print(f'DISCONTINUOUS {v["trace_id"]}: '
+              f'gaps {v["gaps"]} {v.get("error", "")}'.rstrip(),
+              file=sys.stderr)
+    return 2 if broken else 0
+
+
+def cmd_postmortem(args):
+    from .flight import load_postmortem, render_postmortem
+    from .telemetry import ReportValidationError
+    try:
+        doc = load_postmortem(args.file)
+    except (OSError, ValueError, ReportValidationError) as exc:
+        print(f'{args.file}: INVALID post-mortem: {exc}',
+              file=sys.stderr)
+        return 1
+    if args.postmortem_command == 'dump':
+        print(render_postmortem(doc))
+    else:
+        print(f'{args.file}: valid {doc["kind"]} '
+              f'(trigger {doc["reason"]["trigger"]}, '
+              f'{len(doc["events"])} event(s) in ring)')
+    return 0
 
 
 def cmd_report(args):
@@ -835,6 +951,24 @@ def main(argv=None) -> int:
     p.add_argument('--report', metavar='OUT.json',
                    help='write the schema-checked cross-shard fleet '
                         'report')
+    p.add_argument('--flight', metavar='DIR',
+                   help='attach the flight layer: distributed-trace '
+                        'journal, black-box event ring, anomaly '
+                        'detection, and POSTMORTEM_* dumps on crash/'
+                        'deadlock/SLO-fail, all written under DIR')
+    p.add_argument('--flight-label', default='fleet', metavar='LABEL',
+                   help='label embedded in flight artifacts '
+                        '(default fleet)')
+    p.add_argument('--flight-ring', type=int, default=256, metavar='N',
+                   help='black-box event ring capacity (default 256)')
+    p.add_argument('--shard-metrics-dir', metavar='DIR',
+                   help='with --flight: each shard worker appends '
+                        'observe-plane snapshots to DIR/shard<N>.jsonl '
+                        '(feeds `repro top --fleet DIR`)')
+    p.add_argument('--snapshot-interval', type=int, default=5000,
+                   metavar='CYCLES',
+                   help='cycles between shard metric snapshots '
+                        '(default 5000)')
 
     p = sub.add_parser('top', help='serve a trace with a live '
                                    'terminal dashboard attached')
@@ -854,6 +988,45 @@ def main(argv=None) -> int:
                    help='also write JSONL metric snapshots')
     p.add_argument('--no-verify', action='store_true',
                    help='skip numpy output verification')
+    p.add_argument('--fleet', metavar='DIR',
+                   help='fleet mode: tail the per-shard JSONL snapshot '
+                        'streams under DIR (from `repro fleet '
+                        '--shard-metrics-dir`) and render an aggregated '
+                        'per-shard dashboard instead of serving a trace')
+    p.add_argument('--follow', action='store_true',
+                   help='with --fleet: keep re-reading the streams '
+                        'until interrupted')
+    p.add_argument('--interval', type=float, default=1.0, metavar='SEC',
+                   help='with --fleet --follow: seconds between frames '
+                        '(default 1.0)')
+
+    p = sub.add_parser('trace', help='merge/export/inspect fleet '
+                                     'flight journals')
+    tsub = p.add_subparsers(dest='trace_command', required=True)
+    pt = tsub.add_parser('merge', help='merge journal(s) into one '
+                                       'Perfetto trace')
+    pt.add_argument('journals', nargs='+', metavar='FLIGHT.jsonl')
+    pt.add_argument('--out', required=True, metavar='OUT.json',
+                    help='merged Chrome trace-event JSON path')
+    pt = tsub.add_parser('export', help='export one trace_id as a '
+                                        'Perfetto trace')
+    pt.add_argument('journal', metavar='FLIGHT.jsonl')
+    pt.add_argument('--trace-id', required=True, metavar='TID')
+    pt.add_argument('--out', required=True, metavar='OUT.json')
+    pt = tsub.add_parser('inspect', help='print span trees + '
+                                         'continuity verdicts')
+    pt.add_argument('journal', metavar='FLIGHT.jsonl')
+    pt.add_argument('--trace-id', metavar='TID',
+                    help='restrict to one trace (default: all)')
+
+    p = sub.add_parser('postmortem', help='validate/dump POSTMORTEM_* '
+                                          'artifacts')
+    psub = p.add_subparsers(dest='postmortem_command', required=True)
+    pp = psub.add_parser('validate', help='schema-check a post-mortem')
+    pp.add_argument('file', metavar='POSTMORTEM.json')
+    pp = psub.add_parser('dump', help='schema-check + render a '
+                                      'post-mortem')
+    pp.add_argument('file', metavar='POSTMORTEM.json')
 
     p = sub.add_parser('bench', help='host-performance lab: run the '
                                      'curated suite / gate two runs')
@@ -1009,6 +1182,7 @@ def main(argv=None) -> int:
     return {'list': cmd_list, 'run': cmd_run, 'figure': cmd_figure,
             'experiment': cmd_experiment, 'sweep': cmd_sweep,
             'serve': cmd_serve, 'fleet': cmd_fleet, 'top': cmd_top,
+            'trace': cmd_trace, 'postmortem': cmd_postmortem,
             'report': cmd_report,
             'compare': cmd_compare, 'bench': cmd_bench, 'dse': cmd_dse,
             'version': cmd_version}[args.command](args)

@@ -145,9 +145,13 @@ class FleetRouter:
 
     def __init__(self, config: FleetConfig,
                  autoscaler: Optional[Autoscaler] = None,
-                 pool: Optional[ShardPool] = None):
+                 pool: Optional[ShardPool] = None,
+                 flight=None):
         self.cfg = config
         self.autoscaler = autoscaler
+        #: optional repro.flight.FleetFlight collector; every hook call
+        #: below is None-guarded so the default path costs one check
+        self.flight = flight
         self.pool = pool if pool is not None else ShardPool(
             workers=config.workers, timeout=config.timeout,
             mp_context=config.mp_context)
@@ -227,6 +231,8 @@ class FleetRouter:
             self._log_epoch(epoch, t, dispatched)
             epoch += 1
         self._log_epoch(epoch, final_cycle, 0)
+        if self.flight is not None:
+            self.flight.finalize(self.entries, final_cycle)
         return FleetResult(
             entries=self.entries, shards=sorted(
                 self.shards.values(), key=lambda s: s.shard_id),
@@ -271,6 +277,8 @@ class FleetRouter:
     def _absorb_batch(self, sh: ShardState, info: dict, doc: dict,
                       epoch: int) -> None:
         """Fold a finished batch's serve report into global records."""
+        if self.flight is not None:
+            self.flight.on_batch_done(sh, info, doc, epoch)
         dispatch = info['dispatched_at']
         by_id = {e.req.req_id: e for e in info['entries']}
         if doc.get('stats'):
@@ -330,11 +338,16 @@ class FleetRouter:
         sh.crashed_epoch = epoch
         self.crashes += 1
         self.metrics.counter('fleet_shard_crashes').inc()
-        orphans = info['entries'] + sh.backlog
+        backlog = sh.backlog
+        orphans = info['entries'] + backlog
         sh.backlog = []
         t = epoch * self.cfg.epoch_cycles
+        if self.flight is not None:
+            self.flight.on_crash(sh, info['entries'], backlog, t, epoch)
         for entry in orphans:
             if entry.attempts > self.cfg.max_reroutes:
+                if self.flight is not None:
+                    self.flight.on_reroute_exhausted(entry, sh, t)
                 self._finalize_error(
                     entry, t,
                     f'shard {sh.shard_id} crashed; request exceeded '
@@ -345,6 +358,8 @@ class FleetRouter:
             entry.rerouted += 1
             self.rerouted += 1
             self.metrics.counter('fleet_requests_rerouted').inc()
+            if self.flight is not None:
+                self.flight.on_reroute(entry, sh, t)
             self.queue.append(entry)
         # restore the fleet floor so the survivors aren't permanently
         # down a shard
@@ -366,6 +381,17 @@ class FleetRouter:
                     'shards_before': len(self._active()) - 1,
                     'shards_after': len(self._active()),
                     'latency_p99': 0.0, 'tile_utilization': 0.0})
+            if self.flight is not None:
+                self.flight.on_replace(self.events[-1], t)
+        # the post-mortem is dumped *after* the reroutes and the
+        # replacement-spawn decision so the black box tells the whole
+        # story: crash -> reroute -> replace, in ring order
+        if self.flight is not None:
+            self.flight.dump_postmortem(
+                'crash',
+                f'shard {sh.shard_id} worker died at epoch {epoch} '
+                f'with {len(orphans)} request(s) in flight or queued',
+                t)
 
     def _finalize_error(self, entry: FleetEntry, t: int,
                         error: str) -> None:
@@ -390,6 +416,9 @@ class FleetRouter:
         if action is None:
             return
         self.events.append(self.autoscaler.events[-1])
+        if self.flight is not None:
+            self.flight.on_autoscale(self.events[-1],
+                                     epoch * self.cfg.epoch_cycles)
         if action == 'up':
             self._spawn_shard(epoch)
         elif action == 'down':
@@ -429,8 +458,12 @@ class FleetRouter:
                               f'{cfg.max_queue}')}
                 self.rejected_admission += 1
                 self.metrics.counter('fleet_requests_rejected').inc()
+                if self.flight is not None:
+                    self.flight.on_reject(entry, t)
             else:
                 self.queue.append(entry)
+                if self.flight is not None:
+                    self.flight.on_admit(entry, t)
             pending = next(stream, None)
         self.peak_queue_depth = max(self.peak_queue_depth,
                                     len(self.queue))
@@ -487,11 +520,21 @@ class FleetRouter:
                 e.attempts += 1
                 e.epoch = epoch
                 e.dispatched_at = t
+            flight = self.flight
             batch = ShardBatch(
                 shard_id=sh.shard_id, epoch=epoch,
                 requests=tuple(
                     dict(e.req.to_dict(), arrival=0) for e in entries),
-                verify=cfg.verify, digests=cfg.digests, crash=crash)
+                verify=cfg.verify, digests=cfg.digests, crash=crash,
+                flight=flight is not None,
+                metrics_out=(
+                    f'{flight.shard_metrics_dir}/shard{sh.shard_id}.jsonl'
+                    if flight is not None
+                    and flight.shard_metrics_dir else None),
+                snapshot_interval=(flight.snapshot_interval
+                                   if flight is not None else 5000))
+            if flight is not None:
+                flight.on_dispatch(sh, entries, t, epoch, crash)
             launches.append((sh, batch, entries))
         if not launches:
             return 0
@@ -536,3 +579,5 @@ class FleetRouter:
             'shards_draining': sum(
                 1 for s in self.shards.values() if s.state == DRAINING),
             'metrics': self.metrics.snapshot()})
+        if self.flight is not None:
+            self.flight.on_epoch(self.epoch_log[-1])

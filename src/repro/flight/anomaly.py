@@ -1,0 +1,118 @@
+"""Streaming anomaly detection over observe-plane signal streams.
+
+The detector keeps, per signal, an exponentially weighted moving
+average and variance (West's incremental EWM update), and scores each
+new sample by its z-score against the pre-update statistics — the
+EWMA rolling-z-score detector of the issue.  A sample flags as
+anomalous when at least ``min_samples`` have been seen *and* the
+absolute z-score clears ``z_threshold``; the returned event carries
+the signal, value, mean, std, and z so the flight recorder's ring
+(and the merged Perfetto trace's annotation track) can show *why* it
+fired, not just *that* it fired.
+
+:func:`feed_fleet_epoch` adapts the fleet router's per-epoch metrics
+snapshot (the same dict the JSONL sink writes) into the detector's
+signal vocabulary: ``latency_p99`` from the fleet latency histogram,
+``tile_utilization`` from the batch-busy ledger, and ``queue_depth``
+(the shard backlog pressure seen at the router).  Everything is pure
+arithmetic over already-collected numbers: the detector never touches
+the fabric, so it cannot move a sim cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class _SignalState:
+    __slots__ = ('mean', 'var', 'count')
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+
+class AnomalyDetector:
+    """EWMA mean/variance + rolling z-score, one state per signal."""
+
+    def __init__(self, alpha: float = 0.3, z_threshold: float = 3.0,
+                 min_samples: int = 5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError('alpha must be in (0, 1]')
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.min_samples = min_samples
+        self._signals: Dict[str, _SignalState] = {}
+        self.anomalies: List[dict] = []
+
+    def observe(self, signal: str, value: float,
+                t: int) -> Optional[dict]:
+        """Score ``value`` against the signal's history, then fold it in.
+
+        Returns the anomaly event when the sample is an excursion,
+        ``None`` otherwise.  Scoring happens *before* the update so a
+        spike cannot hide inside the statistics it just inflated.
+        """
+        st = self._signals.setdefault(signal, _SignalState())
+        event: Optional[dict] = None
+        if st.count >= self.min_samples:
+            std = math.sqrt(st.var)
+            if std > 0.0:
+                z = (value - st.mean) / std
+            else:
+                # a flat-line history makes any change infinite-z; cap
+                # it so the event stays JSON-representable
+                z = 0.0 if value == st.mean else math.copysign(
+                    self.z_threshold * 10.0, value - st.mean)
+            if abs(z) > self.z_threshold:
+                event = {'t': int(t), 'signal': signal,
+                         'value': round(float(value), 6),
+                         'mean': round(st.mean, 6),
+                         'std': round(std, 6), 'z': round(z, 3)}
+                self.anomalies.append(event)
+        # EWM update (West): delta against the pre-update mean
+        delta = value - st.mean
+        incr = self.alpha * delta
+        st.mean += incr
+        st.var = (1.0 - self.alpha) * (st.var + delta * incr)
+        st.count += 1
+        return event
+
+    def state(self, signal: str) -> Optional[dict]:
+        st = self._signals.get(signal)
+        if st is None:
+            return None
+        return {'mean': st.mean, 'std': math.sqrt(st.var),
+                'count': st.count}
+
+
+def feed_fleet_epoch(detector: AnomalyDetector, epoch_row: dict,
+                     utilization: Optional[float] = None) -> List[dict]:
+    """Feed one fleet epoch-log row into the detector.
+
+    ``epoch_row`` is a row of ``FleetResult.epoch_log`` (cycle, queue
+    depth, and the metrics snapshot with the fleet latency histogram);
+    ``utilization`` is the most recent batch tile utilization when one
+    completed this epoch.  Returns the anomaly events emitted.
+    """
+    t = epoch_row['cycle']
+    events: List[dict] = []
+    metrics = epoch_row.get('metrics', {})
+    hist = metrics.get('fleet_latency')
+    if isinstance(hist, dict) and hist.get('count'):
+        p99 = hist.get('p99')
+        if p99 is not None:
+            ev = detector.observe('latency_p99', float(p99), t)
+            if ev:
+                events.append(ev)
+    ev = detector.observe('queue_depth',
+                          float(epoch_row.get('queue_depth', 0)), t)
+    if ev:
+        events.append(ev)
+    if utilization is not None:
+        ev = detector.observe('tile_utilization', float(utilization), t)
+        if ev:
+            events.append(ev)
+    return events

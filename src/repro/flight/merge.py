@@ -1,0 +1,123 @@
+"""Merge flight journals into one Perfetto-loadable Chrome trace.
+
+Follows the layout conventions of ``repro.telemetry.trace_export`` (1
+simulated cycle == 1 us, documented Trace Event JSON object form), but
+at the *fleet* level: one Perfetto **process** (track group) per shard
+plus a dedicated router process, so the UI's process grouping gives the
+"one track group per shard plus a router track" view the fleet needs.
+Within the router process, requests are laid out one per thread row
+(``tid`` = req_id) so concurrent requests never stack; a shard process
+carries its exec windows and their nested phase spans the same way.
+
+Spans render as async ``b``/``e`` pairs keyed by ``trace_id`` — the
+exact idiom the in-fabric exporter uses for request occupancy — which
+is what makes a crash-rerouted request read as **one continuous trace**
+across the router track and both shard track groups: every fragment
+shares the trace_id, and Perfetto's flow/async grouping stitches them.
+Anomaly events and crash/reroute markers land as instant (``i``)
+events on the track they concern.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .spans import KIND_PHASE, KIND_REQUEST, TRACK_ROUTER
+
+#: pid layout: router first, shard N at PID_SHARD_BASE + N
+PID_ROUTER = 0
+PID_SHARD_BASE = 1
+
+
+def _track_pid(track: str) -> int:
+    if track == TRACK_ROUTER:
+        return PID_ROUTER
+    if track.startswith('shard:'):
+        return PID_SHARD_BASE + int(track.split(':', 1)[1])
+    raise ValueError(f'unknown track {track!r}')
+
+
+def _track_name(pid: int) -> str:
+    if pid == PID_ROUTER:
+        return 'fleet router'
+    return f'shard {pid - PID_SHARD_BASE}'
+
+
+def merged_chrome_trace(spans: List[dict],
+                        anomalies: Optional[List[dict]] = None,
+                        label: str = 'fleet') -> dict:
+    """Build the merged fleet trace document from journal spans."""
+    events: List[dict] = []
+    pids = sorted({_track_pid(s['track']) for s in spans} | {PID_ROUTER})
+    for pid in pids:
+        events.append({'ph': 'M', 'pid': pid, 'tid': 0,
+                       'name': 'process_name',
+                       'args': {'name': _track_name(pid)}})
+        events.append({'ph': 'M', 'pid': pid, 'tid': 0,
+                       'name': 'process_sort_index',
+                       'args': {'sort_index': pid}})
+
+    # one thread row per request within each process, named by trace_id,
+    # so concurrent requests render side by side instead of stacking
+    named: Dict[tuple, None] = {}
+    req_of_trace: Dict[str, int] = {}
+    for s in spans:
+        if s['kind'] == KIND_REQUEST:
+            req_of_trace[s['trace_id']] = int(
+                (s.get('attrs') or {}).get('req_id', len(req_of_trace)))
+    for s in spans:
+        tid = req_of_trace.get(s['trace_id'], 0)
+        pid = _track_pid(s['track'])
+        if (pid, tid) not in named:
+            named[(pid, tid)] = None
+            events.append({'ph': 'M', 'pid': pid, 'tid': tid,
+                           'name': 'thread_name',
+                           'args': {'name': s['trace_id']}})
+            events.append({'ph': 'M', 'pid': pid, 'tid': tid,
+                           'name': 'thread_sort_index',
+                           'args': {'sort_index': tid}})
+
+    for s in sorted(spans, key=lambda s: (s['start'], s['span_id'])):
+        pid = _track_pid(s['track'])
+        tid = req_of_trace.get(s['trace_id'], 0)
+        end = s['end'] if s['end'] is not None else s['start'] + 1
+        args = dict(s.get('attrs') or {})
+        args['trace_id'] = s['trace_id']
+        args['span_kind'] = s['kind']
+        if s['kind'] == KIND_PHASE:
+            # leaf phases are dense and strictly nested: complete events
+            events.append({'ph': 'X', 'pid': pid, 'tid': tid,
+                           'ts': s['start'],
+                           'dur': max(1, end - s['start']),
+                           'name': s['name'], 'cat': 'phase',
+                           'args': args})
+            continue
+        common = {'pid': pid, 'tid': tid, 'cat': 'request',
+                  'name': s['name'], 'id': s['trace_id']}
+        events.append({'ph': 'b', 'ts': s['start'], 'args': args,
+                       **common})
+        events.append({'ph': 'e', 'ts': max(end, s['start'] + 1),
+                       **common})
+
+    for ev in anomalies or ():
+        events.append({'ph': 'i', 'pid': PID_ROUTER, 'tid': 0,
+                       'ts': ev.get('t', 0), 's': 'p',
+                       'name': f'anomaly:{ev.get("signal", "?")}',
+                       'cat': 'anomaly',
+                       'args': {k: v for k, v in ev.items()
+                                if k != 't'}})
+
+    return {'traceEvents': events, 'displayTimeUnit': 'ms',
+            'otherData': {'producer': 'repro.flight',
+                          'label': label,
+                          'time_unit': '1us == 1 cycle'}}
+
+
+def write_merged_trace(path: str, spans: List[dict],
+                       anomalies: Optional[List[dict]] = None,
+                       label: str = 'fleet') -> dict:
+    doc = merged_chrome_trace(spans, anomalies, label)
+    with open(path, 'w') as f:
+        json.dump(doc, f)
+    return doc

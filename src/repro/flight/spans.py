@@ -1,0 +1,234 @@
+"""Distributed trace spans and the flight journal (JSONL on disk).
+
+A **span** is one timed episode in a request's life, stamped with the
+``trace_id`` the request was minted with by ``tracegen``.  Spans form a
+tree: the root ``request`` span covers arrival to finish at *global*
+fleet time, and its children tile that window — router queue waits
+(one per dispatch attempt), shard execution windows (one per attempt,
+including attempts that died in a shard crash), the reroute gap between
+a crash and the re-dispatch, and the per-request causal phase
+breakdown (``repro.observe.rtrace``) laid out as leaf spans inside each
+completed execution window.
+
+Spans are plain dicts so they serialize over the fleet wire protocol
+(shard workers return their fragments inside the batch result dict) and
+into the **flight journal**: a JSONL file whose first line is a typed,
+provenance-stamped header and whose remaining lines are ``span`` and
+``anomaly`` records.  ``repro trace merge|export|inspect`` consume
+journals; :func:`check_continuity` is the invariant the acceptance
+tests gate on — a re-routed request's spans must cover its root window
+with no gaps, i.e. it reads as *one continuous trace* across the
+router and every shard that touched it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+JOURNAL_KIND = 'repro-flight-journal'
+JOURNAL_SCHEMA_VERSION = 1
+
+#: span kinds, from root to leaf
+KIND_REQUEST = 'request'          # root: arrival -> finish (global)
+KIND_ROUTER_QUEUE = 'router_queue'  # waiting in the router, per attempt
+KIND_REROUTE_WAIT = 'reroute_wait'  # crash boundary -> re-dispatch
+KIND_SHARD_EXEC = 'shard_exec'    # dispatch -> batch completion/crash
+KIND_PHASE = 'phase'              # causal-breakdown leaf inside an exec
+
+SPAN_KINDS = (KIND_REQUEST, KIND_ROUTER_QUEUE, KIND_REROUTE_WAIT,
+              KIND_SHARD_EXEC, KIND_PHASE)
+
+#: the router's track name; shards use ``shard:<id>``
+TRACK_ROUTER = 'router'
+
+
+def shard_track(shard_id: int) -> str:
+    return f'shard:{shard_id}'
+
+
+def make_span(trace_id: str, span_id: str, name: str, kind: str,
+              track: str, start: int, end: Optional[int] = None,
+              parent_id: Optional[str] = None,
+              attrs: Optional[dict] = None) -> dict:
+    """One span record (plain dict: wire- and JSONL-safe)."""
+    if kind not in SPAN_KINDS:
+        raise ValueError(f'unknown span kind {kind!r}')
+    span = {'trace_id': trace_id, 'span_id': span_id, 'name': name,
+            'kind': kind, 'track': track, 'start': int(start),
+            'end': None if end is None else int(end)}
+    if parent_id is not None:
+        span['parent_id'] = parent_id
+    if attrs:
+        span['attrs'] = dict(attrs)
+    return span
+
+
+class JournalError(ValueError):
+    """A flight journal failed structural validation."""
+
+
+def _provenance() -> dict:
+    from ..jobs.spec import CODE_VERSION, code_version_hash, machine_hash
+    from ..manycore import DEFAULT_CONFIG
+    return {'code_version': CODE_VERSION,
+            'code_version_hash': code_version_hash(),
+            'machine_hash': machine_hash(DEFAULT_CONFIG)}
+
+
+def journal_header(label: str) -> dict:
+    from ..telemetry.report import _generated
+    return {'type': 'header', 'kind': JOURNAL_KIND,
+            'schema_version': JOURNAL_SCHEMA_VERSION, 'label': label,
+            'generated': _generated(), 'provenance': _provenance()}
+
+
+def write_journal(path: str, spans: List[dict],
+                  anomalies: Optional[List[dict]] = None,
+                  label: str = 'fleet') -> dict:
+    """Write header + spans + anomalies as JSONL; returns the header."""
+    header = journal_header(label)
+    with open(path, 'w') as f:
+        f.write(json.dumps(header) + '\n')
+        for span in spans:
+            f.write(json.dumps({'type': 'span', **span}) + '\n')
+        for ev in anomalies or ():
+            f.write(json.dumps({'type': 'anomaly', **ev}) + '\n')
+    return header
+
+
+_SPAN_REQUIRED = ('trace_id', 'span_id', 'name', 'kind', 'track',
+                  'start')
+
+
+def read_journal(path: str) -> Tuple[dict, List[dict], List[dict]]:
+    """Load and validate a journal; returns (header, spans, anomalies)."""
+    spans: List[dict] = []
+    anomalies: List[dict] = []
+    header: Optional[dict] = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(f'{path}:{lineno}: not JSON: {exc}')
+            kind = row.pop('type', None)
+            if lineno == 1:
+                if kind != 'header' or row.get('kind') != JOURNAL_KIND:
+                    raise JournalError(
+                        f'{path}: first line is not a {JOURNAL_KIND} '
+                        f'header')
+                if row.get('schema_version') != JOURNAL_SCHEMA_VERSION:
+                    raise JournalError(
+                        f'{path}: unsupported journal schema_version '
+                        f'{row.get("schema_version")!r}')
+                header = row
+                continue
+            if kind == 'span':
+                missing = [k for k in _SPAN_REQUIRED if k not in row]
+                if missing:
+                    raise JournalError(
+                        f'{path}:{lineno}: span missing '
+                        f'{", ".join(missing)}')
+                if row['kind'] not in SPAN_KINDS:
+                    raise JournalError(
+                        f'{path}:{lineno}: unknown span kind '
+                        f'{row["kind"]!r}')
+                spans.append(row)
+            elif kind == 'anomaly':
+                anomalies.append(row)
+            else:
+                raise JournalError(
+                    f'{path}:{lineno}: unknown record type {kind!r}')
+    if header is None:
+        raise JournalError(f'{path}: empty journal')
+    return header, spans, anomalies
+
+
+# --------------------------------------------------------------- invariants
+def by_trace(spans: List[dict]) -> Dict[str, List[dict]]:
+    out: Dict[str, List[dict]] = {}
+    for s in spans:
+        out.setdefault(s['trace_id'], []).append(s)
+    return out
+
+
+def check_continuity(spans: List[dict]) -> Dict[str, dict]:
+    """Per-trace continuity verdicts.
+
+    A trace is **continuous** when its non-root, non-phase spans,
+    ordered by start, cover the root ``request`` span's window with no
+    gap: the first starts at the root's start, each next span starts at
+    or before the furthest end seen so far, and the furthest end
+    reaches the root's end.  Phase spans are leaves *inside* an exec
+    span and are excluded from the top-level tiling.
+    """
+    verdicts: Dict[str, dict] = {}
+    for tid, group in sorted(by_trace(spans).items()):
+        roots = [s for s in group if s['kind'] == KIND_REQUEST]
+        verdict = {'trace_id': tid, 'spans': len(group),
+                   'continuous': False, 'gaps': [], 'tracks': sorted(
+                       {s['track'] for s in group})}
+        if len(roots) != 1:
+            verdict['error'] = f'{len(roots)} root span(s)'
+            verdicts[tid] = verdict
+            continue
+        root = roots[0]
+        if root['end'] is None:
+            verdict['error'] = 'open root span'
+            verdicts[tid] = verdict
+            continue
+        body = sorted((s for s in group
+                       if s['kind'] not in (KIND_REQUEST, KIND_PHASE)),
+                      key=lambda s: (s['start'],
+                                     s['end'] if s['end'] is not None
+                                     else s['start']))
+        covered = root['start']
+        gaps: List[Tuple[int, int]] = []
+        for s in body:
+            if s['start'] > covered:
+                gaps.append((covered, s['start']))
+            end = s['end'] if s['end'] is not None else s['start']
+            covered = max(covered, end)
+        if covered < root['end']:
+            gaps.append((covered, root['end']))
+        verdict['gaps'] = gaps
+        verdict['continuous'] = not gaps and bool(body)
+        if not body:
+            verdict['error'] = 'no body spans'
+        verdicts[tid] = verdict
+    return verdicts
+
+
+def render_tree(spans: List[dict], trace_id: str) -> str:
+    """ASCII tree of one trace's spans (depth from parent links)."""
+    group = [s for s in spans if s['trace_id'] == trace_id]
+    if not group:
+        return f'trace {trace_id}: no spans'
+    by_id = {s['span_id']: s for s in group}
+    children: Dict[Optional[str], List[dict]] = {}
+    for s in group:
+        parent = s.get('parent_id')
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: show at top level, never drop
+        children.setdefault(parent, []).append(s)
+    lines = [f'trace {trace_id}:']
+
+    def walk(parent: Optional[str], depth: int) -> None:
+        for s in sorted(children.get(parent, ()),
+                        key=lambda s: (s['start'], s['span_id'])):
+            end = '...' if s['end'] is None else str(s['end'])
+            attrs = s.get('attrs') or {}
+            extra = (' ' + ' '.join(f'{k}={v}' for k, v in
+                                    sorted(attrs.items()))
+                     if attrs else '')
+            lines.append(f'{"  " * (depth + 1)}{s["name"]} '
+                         f'[{s["kind"]}] {s["track"]} '
+                         f'{s["start"]}..{end}{extra}')
+            walk(s['span_id'], depth + 1)
+
+    walk(None, 0)
+    return '\n'.join(lines)

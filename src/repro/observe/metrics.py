@@ -40,6 +40,26 @@ def _label_str(key: LabelValues) -> str:
     return ','.join(f'{k}="{v}"' for k, v in key)
 
 
+def _escape_label_value(v: object) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line feed must be escaped inside the
+    quoted value (in that order, so introduced backslashes survive)."""
+    return (str(v).replace('\\', r'\\').replace('"', r'\"')
+            .replace('\n', r'\n'))
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only (quotes are
+    legal verbatim outside a quoted string)."""
+    return text.replace('\\', r'\\').replace('\n', r'\n')
+
+
+def _prom_label_str(key: LabelValues) -> str:
+    """Exposition-format label rendering (escaped), as opposed to
+    :func:`_label_str` which keys JSON snapshots and must stay stable."""
+    return ','.join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+
+
 class Counter:
     """A monotonically increasing count; ``inc`` is the hot operation."""
 
@@ -151,10 +171,10 @@ class MetricFamily:
         """Prometheus text-exposition lines for this family."""
         lines = []
         if self.help:
-            lines.append(f'# HELP {self.name} {self.help}')
+            lines.append(f'# HELP {self.name} {_escape_help(self.help)}')
         lines.append(f'# TYPE {self.name} {self.kind}')
         for key, child in sorted(self.children.items()):
-            suffix = '{%s}' % _label_str(key) if key else ''
+            suffix = '{%s}' % _prom_label_str(key) if key else ''
             if self.kind == HISTOGRAM:
                 if not child.count:
                     continue
@@ -164,9 +184,9 @@ class MetricFamily:
                     cum += n
                     bkey = key + (('le', str(lo)),)
                     lines.append(f'{self.name}_bucket'
-                                 f'{{{_label_str(bkey)}}} {cum}')
+                                 f'{{{_prom_label_str(bkey)}}} {cum}')
                 lines.append(f'{self.name}_bucket'
-                             f'{{{_label_str(base)}}} {child.count}')
+                             f'{{{_prom_label_str(base)}}} {child.count}')
                 lines.append(f'{self.name}_sum{suffix} {child.total}')
                 lines.append(f'{self.name}_count{suffix} {child.count}')
             else:

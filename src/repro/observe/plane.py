@@ -45,12 +45,16 @@ class ObservePlane:
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  snapshot_interval: int = 5000,
                  metrics_out: Optional[str] = None,
-                 on_snapshot: Optional[Callable] = None):
+                 on_snapshot: Optional[Callable] = None,
+                 append: bool = False):
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.interval = snapshot_interval
         self.metrics_out = metrics_out
         self.on_snapshot = on_snapshot
+        # append mode lets several successive fabrics (fleet shard
+        # batches) share one JSONL stream per shard
+        self.append = append
         self.next_due = _INF
         self.snapshots = 0
         self._fabric = None
@@ -158,7 +162,8 @@ class ObservePlane:
         self.next_due = (fabric.cycle + self.interval if self.interval
                          else _INF)
         if self.metrics_out and self._sink is None:
-            self._sink = open(self.metrics_out, 'w')
+            self._sink = open(self.metrics_out,
+                              'a' if self.append else 'w')
 
     # ----------------------------------------------------------------- routing
     def _route(self, src: int, dst: int, to_bank: bool):
@@ -308,7 +313,8 @@ class ObservePlane:
             self._sink.write(json.dumps(
                 {'cycle': now, 'final': True,
                  'metrics': self.registry.snapshot(),
-                 'heatmaps': self.heatmaps_dict()}) + '\n')
+                 'heatmaps': self.heatmaps_dict(),
+                 'provenance': self.provenance_dict()}) + '\n')
             self._sink.close()
             self._sink = None
 
@@ -335,11 +341,21 @@ class ObservePlane:
                 self._h_service.observe(req.service_cycles)
 
     # ----------------------------------------------------------------- export
+    def provenance_dict(self) -> dict:
+        """The same ``code_version_hash`` + machine-hash pair that
+        BENCH_*/CALIB_* artifacts carry, so heatmap and metrics-snapshot
+        files are cross-checkable against ``repro version``."""
+        from ..jobs.spec import code_version_hash, machine_hash
+        cfg = self._fabric.cfg if self._fabric is not None else None
+        return {'code_version_hash': code_version_hash(),
+                'machine_hash': machine_hash(cfg)}
+
     def heatmaps_dict(self) -> dict:
         self.drain()
         return {'noc': self.link_heat.to_dict() if self.link_heat else {},
                 'llc': self.llc_heat.to_dict() if self.llc_heat else {},
-                'inet': self.inet_heat.to_dict() if self.inet_heat else {}}
+                'inet': self.inet_heat.to_dict() if self.inet_heat else {},
+                'provenance': self.provenance_dict()}
 
     def render_heatmaps(self) -> str:
         self.drain()

@@ -21,7 +21,7 @@ from .request import (DONE, FAILED, KernelRequest, QUEUED, REJECTED,
 from .scheduler import ServeResult, ServeScheduler, serve_trace
 from .tracegen import (DEFAULT_KERNELS, DEFAULT_SHAPES, PATTERNS,
                        SIZE_LADDERS, generate_trace, load_trace,
-                       open_loop_trace, save_trace)
+                       mint_trace_id, open_loop_trace, save_trace)
 
 __all__ = [
     'AllocStats', 'Region', 'RegionAllocator',
@@ -34,5 +34,6 @@ __all__ = [
     'TERMINAL', 'TIMED_OUT',
     'ServeResult', 'ServeScheduler', 'serve_trace',
     'DEFAULT_KERNELS', 'DEFAULT_SHAPES', 'PATTERNS', 'SIZE_LADDERS',
-    'generate_trace', 'load_trace', 'open_loop_trace', 'save_trace',
+    'generate_trace', 'load_trace', 'mint_trace_id', 'open_loop_trace',
+    'save_trace',
 ]

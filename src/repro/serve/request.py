@@ -43,6 +43,9 @@ class KernelRequest:
     priority: int = 0
     arrival: int = 0
     timeout: Optional[int] = None  # cycles from arrival; None = unbounded
+    #: distributed-tracing correlation id (repro.flight); minted by
+    #: tracegen, propagated verbatim over the fleet wire protocol
+    trace_id: Optional[str] = None
 
     # outcome (filled by the scheduler)
     state: str = QUEUED
@@ -88,10 +91,13 @@ class KernelRequest:
 
     def to_dict(self) -> dict:
         """Trace-file form (inputs only, no outcome)."""
-        return {'req_id': self.req_id, 'kernel': self.kernel,
-                'params': dict(self.params), 'lanes': self.lanes,
-                'groups': self.groups, 'priority': self.priority,
-                'arrival': self.arrival, 'timeout': self.timeout}
+        doc = {'req_id': self.req_id, 'kernel': self.kernel,
+               'params': dict(self.params), 'lanes': self.lanes,
+               'groups': self.groups, 'priority': self.priority,
+               'arrival': self.arrival, 'timeout': self.timeout}
+        if self.trace_id is not None:
+            doc['trace_id'] = self.trace_id
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> 'KernelRequest':
@@ -102,4 +108,5 @@ class KernelRequest:
                    priority=int(doc.get('priority', 0)),
                    arrival=int(doc.get('arrival', 0)),
                    timeout=(int(doc['timeout'])
-                            if doc.get('timeout') is not None else None))
+                            if doc.get('timeout') is not None else None),
+                   trace_id=doc.get('trace_id'))

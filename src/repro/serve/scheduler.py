@@ -149,7 +149,8 @@ class ServeScheduler:
             self.peak_concurrent_jobs = len(self.running)
         groups, _ = plan_groups_in(region.core_ids, req.lanes, req.groups)
         span = {'request': req.req_id, 'job': job.job_id,
-                'kernel': req.kernel, 'start': now, 'end': None,
+                'kernel': req.kernel, 'trace_id': req.trace_id,
+                'start': now, 'end': None,
                 'cores': {cid: g.group_id for g in groups
                           for cid in g.tiles}}
         self._spans[job.job_id] = span

@@ -41,6 +41,13 @@ DEFAULT_SHAPES = ((4, 1), (4, 2), (4, 3))
 #: traffic patterns understood by :func:`open_loop_trace`
 PATTERNS = ('steady', 'diurnal', 'bursty', 'mixed')
 
+
+def mint_trace_id(seed: int, req_id: int) -> str:
+    """Deterministic distributed-tracing id for request ``req_id`` of a
+    seeded trace — stable across processes and replays, so a trace can
+    be named in a bug report the same way the trace file is."""
+    return f'{seed & 0xffffffff:08x}-{req_id:08x}'
+
 #: per-kernel problem-size ladders for heavy-tailed request sizes; every
 #: rung is compatible with each shape in DEFAULT_SHAPES (all are
 #: power-of-two matvec widths, so vector spans always fit them)
@@ -69,7 +76,8 @@ def generate_trace(seed: int, n_requests: int,
         requests.append(KernelRequest(
             req_id=i, kernel=kernel, params=params, lanes=lanes,
             groups=groups, priority=rng.choice(list(priorities)),
-            arrival=arrival, timeout=timeout))
+            arrival=arrival, timeout=timeout,
+            trace_id=mint_trace_id(seed, i)))
         # geometric interarrival with the requested mean, never zero so
         # admission order is stable under queue sorting
         arrival += 1 + int(rng.expovariate(1.0 / max(1, mean_interarrival)))
@@ -153,7 +161,8 @@ def open_loop_trace(seed: int, n_requests: int,
         yield KernelRequest(
             req_id=i, kernel=kernel, params=params, lanes=lanes,
             groups=groups, priority=rng.choice(list(priorities)),
-            arrival=arrival, timeout=timeout)
+            arrival=arrival, timeout=timeout,
+            trace_id=mint_trace_id(seed, i))
         # ---- advance the arrival clock (open loop: never waits on us)
         rate_scale = 1.0
         if diurnal:

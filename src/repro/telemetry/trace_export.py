@@ -101,11 +101,13 @@ def to_chrome_trace(tracer=None, telemetry=None,
                       'name': f'req{span["request"]}:{span["kernel"]} '
                               f'g{group_id}',
                       'id': f'request-{span["request"]}-c{core}'}
+            args = {'request': span['request'], 'job': span['job'],
+                    'kernel': span['kernel'], 'group': group_id}
+            if span.get('trace_id') is not None:
+                # same correlation id the fleet-level merged trace uses
+                args['trace_id'] = span['trace_id']
             events.append({'ph': 'b', 'ts': span['start'],
-                           'args': {'request': span['request'],
-                                    'job': span['job'],
-                                    'kernel': span['kernel'],
-                                    'group': group_id}, **common})
+                           'args': args, **common})
             events.append({'ph': 'e', 'ts': max(end, span['start'] + 1),
                            **common})
 

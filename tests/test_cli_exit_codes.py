@@ -110,6 +110,89 @@ def test_fleet_invalid_policies_are_two(tmp_path, capsys):
     capsys.readouterr()
 
 
+@pytest.fixture(scope='module')
+def flight_artifacts(tmp_path_factory):
+    """One crashed fleet run with the flight layer on, via the CLI."""
+    out = tmp_path_factory.mktemp('flight')
+    assert main(FLEET + ['--crash', '0@0', '--flight', str(out),
+                         '--flight-label', 'cli',
+                         '--shard-metrics-dir', str(out / 'metrics')]) == 0
+    return out
+
+
+def test_trace_merge_contract(flight_artifacts, tmp_path, capsys):
+    journal = flight_artifacts / 'FLIGHT_cli.jsonl'
+    merged = tmp_path / 'merged.json'
+    assert main(['trace', 'merge', str(journal),
+                 '--out', str(merged)]) == 0
+    doc = json.load(open(merged))
+    assert doc['otherData']['producer'] == 'repro.flight'
+    # invalid journal -> 1
+    bad = tmp_path / 'bad.jsonl'
+    bad.write_text('not a journal\n')
+    assert main(['trace', 'merge', str(bad), '--out', str(merged)]) == 1
+    capsys.readouterr()
+
+
+def test_trace_inspect_and_export_contract(flight_artifacts, tmp_path,
+                                           capsys):
+    journal = flight_artifacts / 'FLIGHT_cli.jsonl'
+    rows = [json.loads(line) for line in open(journal)]
+    # a real run's journal: every trace continuous -> 0
+    assert main(['trace', 'inspect', str(journal)]) == 0
+    tid = next(r['trace_id'] for r in rows if r.get('type') == 'span')
+    assert main(['trace', 'inspect', str(journal),
+                 '--trace-id', tid]) == 0
+    assert main(['trace', 'inspect', str(journal),
+                 '--trace-id', 'no-such-trace']) == 1
+    # export mirrors the lookup contract
+    out = tmp_path / 'one.json'
+    assert main(['trace', 'export', str(journal), '--trace-id', tid,
+                 '--out', str(out)]) == 0
+    assert main(['trace', 'export', str(journal),
+                 '--trace-id', 'no-such-trace',
+                 '--out', str(out)]) == 1
+    # a trace whose spans leave a gap -> 2 (discontinuity is the
+    # invariant `trace inspect` gates on)
+    broken = tmp_path / 'broken.jsonl'
+    t = 'deadbeef-00000000'
+    with open(broken, 'w') as f:
+        f.write(json.dumps(rows[0]) + '\n')
+        f.write(json.dumps(
+            {'type': 'span', 'trace_id': t, 'span_id': f'{t}/root',
+             'name': 'r', 'kind': 'request', 'track': 'router',
+             'start': 0, 'end': 100}) + '\n')
+        f.write(json.dumps(
+            {'type': 'span', 'trace_id': t, 'span_id': f'{t}/q1',
+             'name': 'q', 'kind': 'router_queue', 'track': 'router',
+             'start': 0, 'end': 40}) + '\n')
+    assert main(['trace', 'inspect', str(broken)]) == 2
+    capsys.readouterr()
+
+
+def test_postmortem_contract(flight_artifacts, tmp_path, capsys):
+    pm = flight_artifacts / 'POSTMORTEM_cli-crash.json'
+    assert main(['postmortem', 'validate', str(pm)]) == 0
+    assert main(['postmortem', 'dump', str(pm)]) == 0
+    # schema violations and non-postmortems -> 1
+    bad = tmp_path / 'bad.json'
+    bad.write_text('{"kind": "not-a-postmortem"}')
+    assert main(['postmortem', 'validate', str(bad)]) == 1
+    doc = json.load(open(pm))
+    del doc['events']
+    mangled = tmp_path / 'mangled.json'
+    mangled.write_text(json.dumps(doc))
+    assert main(['postmortem', 'validate', str(mangled)]) == 1
+    capsys.readouterr()
+
+
+def test_top_fleet_contract(flight_artifacts, tmp_path, capsys):
+    assert main(['top', '--fleet',
+                 str(flight_artifacts / 'metrics')]) == 0
+    assert main(['top', '--fleet', str(tmp_path / 'nowhere')]) == 2
+    capsys.readouterr()
+
+
 def test_bench_compare_invalid_is_one(tmp_path, capsys):
     bad = tmp_path / 'bad.json'
     bad.write_text('not json at all')

@@ -1,0 +1,97 @@
+"""Unit tests: EWMA rolling-z-score anomaly detection."""
+
+import pytest
+
+from repro.flight import AnomalyDetector, feed_fleet_epoch
+
+
+class TestAnomalyDetector:
+    def test_spike_flags_steady_state_does_not(self):
+        det = AnomalyDetector(alpha=0.3, z_threshold=3.0, min_samples=5)
+        # a noisy-but-steady signal: no anomalies
+        steady = [100, 102, 98, 101, 99, 100, 103, 97, 100, 101]
+        for t, v in enumerate(steady):
+            det.observe('latency_p99', v, t * 1000)
+        assert det.anomalies == []
+        # then a 10x spike
+        ev = det.observe('latency_p99', 1000.0, 99_000)
+        assert ev is not None
+        assert ev['signal'] == 'latency_p99'
+        assert ev['value'] == 1000.0
+        assert ev['z'] > 3.0
+        assert det.anomalies == [ev]
+
+    def test_min_samples_gate(self):
+        det = AnomalyDetector(min_samples=5)
+        # the very same spike is NOT scored while history is too thin
+        for t, v in enumerate([100, 100, 100, 100]):
+            det.observe('queue_depth', v, t)
+        assert det.observe('queue_depth', 10_000, 4) is None
+        assert det.anomalies == []
+
+    def test_flat_line_history_caps_z(self):
+        # an idle queue is the canonical flat line: zero depth forever,
+        # then the first backlog ever — std is exactly 0
+        det = AnomalyDetector(z_threshold=3.0, min_samples=3)
+        for t in range(6):
+            assert det.observe('queue_depth', 0.0, t) is None
+        ev = det.observe('queue_depth', 4.0, 6)
+        assert ev is not None
+        assert ev['z'] == 30.0  # capped at 10x threshold, not inf
+        assert ev['std'] == 0.0
+
+    def test_scores_against_pre_update_stats(self):
+        # a spike must not hide inside the statistics it just inflated:
+        # two consecutive equal spikes -> the first one still flags
+        det = AnomalyDetector(alpha=0.3, z_threshold=3.0, min_samples=3)
+        for t, v in enumerate([10, 11, 9, 10, 11, 9]):
+            det.observe('s', v, t)
+        assert det.observe('s', 500, 10) is not None
+
+    def test_signals_are_independent(self):
+        det = AnomalyDetector(min_samples=3)
+        for t in range(6):
+            det.observe('a', 1.0 + 0.01 * (t % 2), t)
+            det.observe('b', 1000.0 * (t % 2), t)
+        # 'a' spikes relative to its own quiet history; 'b' is used to
+        # noisy swings, so the same magnitude does not flag there
+        assert det.observe('a', 50.0, 10) is not None
+        assert det.observe('b', 50.0, 10) is None
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            AnomalyDetector(alpha=1.5)
+
+
+class TestFeedFleetEpoch:
+    def _row(self, cycle, queue_depth=0, p99=None, count=0):
+        metrics = {}
+        if p99 is not None:
+            metrics['fleet_latency'] = {'count': count, 'p99': p99}
+        return {'cycle': cycle, 'queue_depth': queue_depth,
+                'metrics': metrics}
+
+    def test_feeds_router_signals(self):
+        det = AnomalyDetector(min_samples=3, z_threshold=3.0)
+        for i in range(8):
+            evs = feed_fleet_epoch(
+                det, self._row(i * 20_000, queue_depth=2,
+                               p99=50_000 + 100 * (i % 2), count=4),
+                utilization=0.6)
+            assert evs == []
+        evs = feed_fleet_epoch(
+            det, self._row(200_000, queue_depth=40, p99=900_000,
+                           count=10),
+            utilization=0.6)
+        flagged = {e['signal'] for e in evs}
+        assert 'latency_p99' in flagged
+        assert 'queue_depth' in flagged
+        assert 'tile_utilization' not in flagged
+
+    def test_empty_latency_histogram_skipped(self):
+        det = AnomalyDetector(min_samples=1)
+        feed_fleet_epoch(det, self._row(0, p99=0.0, count=0))
+        assert det.state('latency_p99') is None
+        assert det.state('queue_depth')['count'] == 1

@@ -56,6 +56,25 @@ class TestRegistry:
         assert _label_key({'a': 1, 'b': 2}) == _label_key({'b': 2, 'a': 1})
         assert _label_str(_label_key({'b': 2, 'a': 1})) == 'a="1",b="2"'
 
+    def test_exposition_escapes_label_values(self):
+        # the Prometheus text format requires \, ", and newline escaped
+        # inside quoted label values (backslash first, so introduced
+        # backslashes survive); HELP escapes \ and newline only
+        reg = MetricsRegistry()
+        c = reg.counter('odd_total', 'count of "odd"\nthings\\seen')
+        c.labels(path='C:\\tmp', quote='say "hi"', nl='a\nb').inc()
+        text = reg.to_prometheus()
+        assert r'path="C:\\tmp"' in text
+        assert r'quote="say \"hi\""' in text
+        assert r'nl="a\nb"' in text
+        assert '# HELP odd_total count of "odd"\\nthings\\\\seen' in text
+        assert '\n' == text[-1] and text.count('\n') == len(
+            text.splitlines())  # no raw newline leaked mid-line
+        # the JSON snapshot keying is NOT escaped — it must stay stable
+        snap = reg.snapshot()
+        assert list(snap['odd_total']) == [
+            'nl="a\nb",path="C:\\tmp",quote="say "hi""']
+
 
 class TestApportion:
     def test_exact_and_proportional(self):
